@@ -1,0 +1,248 @@
+//! Baseline serving hardware: every device the paper compares against,
+//! expressed in the ADOR architecture template (Table I, Table III, Fig. 4).
+//!
+//! Devices whose fabric we decompose (the Table III LLMCompass and ADOR
+//! designs) get real SA/MT configurations and run on the cycle models;
+//! devices we treat as black boxes (A100, H100, TPUv4, Groq TSP) carry
+//! datasheet peak-FLOPS/die-area overrides plus calibrated efficiency
+//! profiles (see `DESIGN.md` §2.4).
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_baselines::{a100, ador_table3, registry};
+//!
+//! assert_eq!(a100().peak_flops().as_tflops(), 312.0);
+//! assert!((ador_table3().peak_flops().as_tflops() - 417.0).abs() < 2.0);
+//! assert!(registry().len() >= 7);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ador_hw::memory::DramSpec;
+use ador_hw::{Architecture, DramKind, MacTree, PerfProfile, ProcessNode, SystolicArray};
+use ador_units::{Area, Bandwidth, Bytes, FlopRate, Frequency, Power};
+
+/// NVIDIA A100 80 GB SXM (Table III's comparison column; FP16 tensor peak).
+pub fn a100() -> Architecture {
+    Architecture::builder("NVIDIA A100")
+        .cores(108)
+        .peak_flops_override(FlopRate::from_tflops(312.0))
+        .die_area_override(Area::from_mm2(826.0))
+        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .p2p_bandwidth(Bandwidth::from_gbps(600.0))
+        .frequency(Frequency::from_mhz(1410.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::gpu())
+        .tdp(Power::from_watts(400.0))
+        .build()
+}
+
+/// NVIDIA H100 SXM (Table I: 1000 TFLOPS FP16, 3.35 TB/s HBM3, 700 W,
+/// 814 mm² at 4 nm).
+pub fn h100() -> Architecture {
+    Architecture::builder("NVIDIA H100")
+        .cores(132)
+        .peak_flops_override(FlopRate::from_tflops(1000.0))
+        .die_area_override(Area::from_mm2(814.0))
+        .dram(DramSpec::hbm3(Bytes::from_gib(80), Bandwidth::from_gbps(3350.0)))
+        .p2p_bandwidth(Bandwidth::from_gbps(900.0))
+        .frequency(Frequency::from_mhz(1593.0))
+        .process(ProcessNode::N4)
+        .profile(PerfProfile::gpu())
+        .tdp(Power::from_watts(700.0))
+        .build()
+}
+
+/// Google TPUv4 (Table I: 275 TFLOPS, 1.2 TB/s HBM2, 32 GB, 400 mm² at
+/// 7 nm) — modeled as 8 MXUs of 128×128 at 1050 MHz, which reproduces the
+/// datasheet peak exactly.
+pub fn tpuv4() -> Architecture {
+    Architecture::builder("Google TPUv4")
+        .cores(8)
+        .systolic_array(SystolicArray::square(128))
+        .local_memory(Bytes::from_mib(16))
+        .global_memory(Bytes::from_mib(32))
+        .die_area_override(Area::from_mm2(400.0))
+        .dram(DramSpec::hbm2(Bytes::from_gib(32), Bandwidth::from_gbps(1200.0)))
+        .p2p_bandwidth(Bandwidth::from_gbps(200.0))
+        .frequency(Frequency::from_mhz(1050.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::systolic_npu())
+        .tdp(Power::from_watts(275.0))
+        .build()
+}
+
+/// Groq TSP (Table I: 205 TFLOPS, all-SRAM 220 MB at 80 TB/s, 725 mm² at
+/// 14 nm). Serving a multi-GB model requires `ceil(weights / 220 MB)`
+/// devices — the paper's Fig. 4a uses 576 devices for LLaMA3-8B.
+pub fn groq_tsp() -> Architecture {
+    Architecture::builder("Groq TSP")
+        .cores(1)
+        .peak_flops_override(FlopRate::from_tflops(205.0))
+        .die_area_override(Area::from_mm2(725.0))
+        .dram(DramSpec::new(
+            DramKind::OnChipSram,
+            Bytes::from_mib(220),
+            Bandwidth::from_tbps(80.0),
+        ))
+        .p2p_bandwidth(Bandwidth::from_gbps(330.0))
+        .frequency(Frequency::from_mhz(1000.0))
+        .process(ProcessNode::N14)
+        .profile(PerfProfile::streaming_sram())
+        .tdp(Power::from_watts(300.0))
+        .build()
+}
+
+/// Devices needed to hold `weight_bytes` entirely in TSP SRAM (Fig. 4a's
+/// "×576 devices" annotation for LLaMA3-8B-class models).
+pub fn tsp_devices_for(weight_bytes: Bytes) -> usize {
+    let capacity = groq_tsp().dram.capacity;
+    (weight_bytes.get() as f64 / capacity.get() as f64).ceil() as usize
+}
+
+/// LLMCompass latency-optimized design (Table III column "L"): 64 cores ×
+/// 4 lanes of 16×16 SAs, 2 TB/s HBM2e.
+pub fn llmcompass_l() -> Architecture {
+    Architecture::builder("LLMCompass-L")
+        .cores(64)
+        .systolic_array(SystolicArray::square(16))
+        .sa_per_core(4)
+        .local_memory(Bytes::from_kib(192))
+        .global_memory(Bytes::from_mib(24))
+        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .p2p_bandwidth(Bandwidth::from_gbps(600.0))
+        .frequency(Frequency::from_mhz(1500.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::systolic_npu())
+        .build()
+}
+
+/// LLMCompass throughput-optimized design (Table III column "T"): 64 cores
+/// × 4 lanes of 32×32 SAs, 512 GB of capacity memory at 1 TB/s.
+pub fn llmcompass_t() -> Architecture {
+    Architecture::builder("LLMCompass-T")
+        .cores(64)
+        .systolic_array(SystolicArray::square(32))
+        .sa_per_core(4)
+        .local_memory(Bytes::from_kib(768))
+        .global_memory(Bytes::from_mib(48))
+        .dram(DramSpec::new(
+            DramKind::Lpddr,
+            Bytes::from_gib(512),
+            Bandwidth::from_tbps(1.0),
+        ))
+        .p2p_bandwidth(Bandwidth::from_gbps(600.0))
+        .frequency(Frequency::from_mhz(1500.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::systolic_npu())
+        .build()
+}
+
+/// The ADOR design the paper's search proposes under A100-like constraints
+/// (Table III right column): 32 cores of 64×64 SA + 16×16 MT, 2 MiB local /
+/// 16 MiB global SRAM, 2 TB/s HBM2e, 64 GB/s P2P.
+pub fn ador_table3() -> Architecture {
+    Architecture::builder("ADOR Design")
+        .cores(32)
+        .systolic_array(SystolicArray::square(64))
+        .mac_tree(MacTree::new(16, 16))
+        .local_memory(Bytes::from_kib(2048))
+        .global_memory(Bytes::from_mib(16))
+        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .noc_bandwidth(Bandwidth::from_gbps(256.0))
+        .p2p_bandwidth(Bandwidth::from_gbps(64.0))
+        .frequency(Frequency::from_mhz(1500.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::ador_template())
+        .build()
+}
+
+/// Every baseline, for registry-style iteration (Fig. 4 sweeps).
+pub fn registry() -> Vec<Architecture> {
+    vec![
+        a100(),
+        h100(),
+        tpuv4(),
+        groq_tsp(),
+        llmcompass_l(),
+        llmcompass_t(),
+        ador_table3(),
+    ]
+}
+
+/// Looks up a baseline by (case-insensitive) name.
+///
+/// # Examples
+///
+/// ```
+/// assert!(ador_baselines::by_name("nvidia a100").is_some());
+/// assert!(ador_baselines::by_name("unknown").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Architecture> {
+    let needle = name.to_ascii_lowercase();
+    registry().into_iter().find(|a| a.name.to_ascii_lowercase() == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_hw::AreaModel;
+
+    #[test]
+    fn table1_specs_encoded() {
+        let h = h100();
+        assert_eq!(h.peak_flops().as_tflops(), 1000.0);
+        assert!((h.dram.bandwidth.as_gbps() - 3350.0).abs() < 1e-9);
+        assert_eq!(h.tdp.unwrap().as_watts(), 700.0);
+
+        let t = tpuv4();
+        assert!((t.peak_flops().as_tflops() - 275.0).abs() < 1.0);
+        assert_eq!(t.dram.capacity, Bytes::from_gib(32));
+
+        let g = groq_tsp();
+        assert_eq!(g.dram.kind, DramKind::OnChipSram);
+        assert!((g.dram.bandwidth.as_tbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_peaks_match() {
+        assert!((llmcompass_l().peak_flops().as_tflops() - 196.6).abs() < 1.0);
+        assert!((llmcompass_t().peak_flops().as_tflops() - 786.4).abs() < 1.0);
+        assert!((ador_table3().peak_flops().as_tflops() - 417.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn table3_die_areas_match() {
+        let model = AreaModel::default();
+        for (arch, expect) in [(llmcompass_l(), 478.0), (llmcompass_t(), 787.0), (ador_table3(), 516.0)] {
+            let got = model.estimate(&arch).total().as_mm2();
+            assert!((got - expect).abs() / expect < 0.01, "{}: {got:.1}", arch.name);
+        }
+    }
+
+    #[test]
+    fn fig4a_tsp_needs_hundreds_of_devices() {
+        // LLaMA3-8B at FP16 ≈ 16 GB of weights → 73+ TSPs at 220 MB each;
+        // the paper's 576 counts the full rack configuration. Our lower
+        // bound already demolishes area efficiency.
+        let n = tsp_devices_for(Bytes::from_gib(16));
+        assert!(n >= 73, "{n}");
+    }
+
+    #[test]
+    fn registry_is_complete_and_valid() {
+        let all = registry();
+        assert_eq!(all.len(), 7);
+        for arch in &all {
+            assert!(arch.validate().is_ok(), "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("ador design").unwrap().cores, 32);
+        assert!(by_name("LLMCompass-T").is_some());
+    }
+}

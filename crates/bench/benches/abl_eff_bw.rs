@@ -1,0 +1,55 @@
+//! Ablation: the Fig. 10 effective-bandwidth law vs naive fixed
+//! utilizations — how much the calibrated law changes predictions.
+
+use ador_bench::{claim, table};
+use ador_core::baselines;
+use ador_core::hw::{PerfProfile, StreamLaw};
+use ador_core::model::presets;
+use ador_core::perf::{Deployment, Evaluator};
+
+fn main() {
+    let model = presets::llama3_8b();
+    let variants = [
+        ("measured law (default)", StreamLaw::measured()),
+        ("fixed 100% (ideal)", StreamLaw::fixed(1.0)),
+        ("fixed 70% (pessimal cap)", StreamLaw::fixed(0.70)),
+    ];
+
+    let mut rows = Vec::new();
+    for (label, law) in variants {
+        let mut arch = baselines::ador_table3();
+        arch.profile = PerfProfile { weight_stream: law, attention_stream: law, ..arch.profile };
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).expect("fits");
+        let tbt1 = eval.decode_interval(1, 1024).expect("decode");
+        let tbt64 = eval.decode_interval(64, 1024).expect("decode");
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.2}", tbt1.as_millis()),
+            format!("{:.2}", tbt64.as_millis()),
+        ]);
+    }
+    table(
+        "Ablation: bandwidth-utilization law (LLaMA3 8B decode, ms)",
+        &["law", "TBT batch 1", "TBT batch 64"],
+        &rows,
+    );
+
+    let measured1: f64 = rows[0][1].parse().unwrap();
+    let ideal1: f64 = rows[1][1].parse().unwrap();
+    let fixed701: f64 = rows[2][1].parse().unwrap();
+    claim(
+        "ablation the law matters most at small workloads",
+        "paper §V-A: estimating bandwidth by simulation alone causes significant errors",
+        &format!(
+            "batch-1 TBT spans {:.2}-{:.2} ms across laws ({:.0}% spread vs measured {measured1:.2} ms)",
+            ideal1,
+            fixed701,
+            100.0 * (fixed701 - ideal1) / measured1
+        ),
+    );
+    claim(
+        "ablation large batches converge",
+        "at high op counts the law saturates at 90%, so laws differ less",
+        &format!("batch-64 spread: {} vs {} vs {} ms", rows[0][2], rows[1][2], rows[2][2]),
+    );
+}

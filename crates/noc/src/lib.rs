@@ -1,0 +1,44 @@
+//! Interconnect models for ADOR: ring NoC, P2P links, tensor-parallel
+//! collectives, and the computation–communication overlap analysis
+//! (paper §IV-C, §IV-D, Fig. 6d, Fig. 7, Fig. 13).
+//!
+//! The paper's core interconnect claims, all reproduced here:
+//!
+//! * **all-gather** exchanges small final sums whose per-device volume is
+//!   roughly constant in device count, and it pipelines behind compute;
+//! * **all-reduce** exchanges partial sums of the *whole* output, so its
+//!   volume grows linearly with device count and the trailing accumulation
+//!   cannot be hidden;
+//! * **Megatron** halves the number of sync points by fusing a
+//!   column-parallel and a row-parallel GEMM around one all-reduce — best at
+//!   two devices, overtaken by all-gather at four or more;
+//! * a modest P2P link (~32 GB/s, PCIe-4 ×16 class) suffices to overlap
+//!   communication for ADOR-class designs — NVLink-class bandwidth is not
+//!   required.
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_noc::{SyncStrategy, CollectiveCost};
+//! use ador_units::{Bandwidth, Bytes};
+//!
+//! let msg = Bytes::from_mib(8); // one layer's activations
+//! let link = Bandwidth::from_gbps(64.0);
+//! let ag = SyncStrategy::AllGather.block_cost(16, msg);
+//! let ar = SyncStrategy::AllReduce.block_cost(16, msg);
+//! assert!(ag.bytes_per_device < ar.bytes_per_device);
+//! assert!(ag.wire_time(link) < ar.wire_time(link));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collective;
+mod overlap;
+mod p2p;
+mod ring;
+
+pub use collective::{CollectiveCost, SyncStrategy};
+pub use overlap::{minimum_overlap_bandwidth, OverlapModel};
+pub use p2p::P2pLink;
+pub use ring::RingNoc;

@@ -1,0 +1,377 @@
+//! Whole-step latency: the quantity behind TTFT, TBT and every Fig. 11/15
+//! series.
+
+use ador_hw::Architecture;
+use ador_model::workload::StepSummary;
+use ador_model::{graph, ModelConfig, Phase};
+use ador_units::{Bytes, FlopCount, Seconds, Utilization};
+use serde::Serialize;
+
+use crate::op_latency::{operator_latency, OpLatency};
+use crate::{Deployment, PerfError};
+
+/// Latency of one inference step (a full prefill pass or one decode step),
+/// with the per-bucket breakdown the paper plots in Fig. 11.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct StepLatency {
+    /// Wall-clock step time (operators + exposed synchronization).
+    pub total: Seconds,
+    /// Sum of operator times.
+    pub ops_time: Seconds,
+    /// Exposed tensor-parallel communication (wire + barriers).
+    pub sync_time: Seconds,
+    /// Sum of the operators' memory-side components (per device).
+    pub memory_time: Seconds,
+    /// Per-device floating-point work.
+    pub flops_per_device: FlopCount,
+    /// Per-device DRAM traffic.
+    pub dram_bytes_per_device: Bytes,
+    /// Time per Fig. 11 breakdown bucket ("QKV Proj", "MHA", "Out Proj",
+    /// "MLP1", "MLP2", "LM-Head", "Embed", "Others"), insertion-ordered.
+    buckets: Vec<(&'static str, Seconds)>,
+}
+
+impl StepLatency {
+    /// Time spent in one breakdown bucket (zero if absent).
+    pub fn bucket(&self, name: &str) -> Seconds {
+        self.buckets
+            .iter()
+            .find(|(b, _)| *b == name)
+            .map(|(_, t)| *t)
+            .unwrap_or(Seconds::ZERO)
+    }
+
+    /// All buckets in insertion order.
+    pub fn buckets(&self) -> &[(&'static str, Seconds)] {
+        &self.buckets
+    }
+
+    /// Achieved DRAM utilization over the step.
+    pub fn dram_utilization(&self, spec: ador_units::Bandwidth) -> Utilization {
+        let ideal = Seconds::new(self.dram_bytes_per_device.get() as f64 / spec.as_bytes_per_sec());
+        Utilization::new_clamped(ideal.get() / self.total.get())
+    }
+
+    /// Achieved fraction of `peak` compute over the step.
+    pub fn compute_utilization(&self, peak: ador_units::FlopRate) -> Utilization {
+        Utilization::new_clamped(self.flops_per_device.get() / (peak.get() * self.total.get()))
+    }
+
+    fn add_bucket(&mut self, name: &'static str, t: Seconds) {
+        match self.buckets.iter_mut().find(|(b, _)| *b == name) {
+            Some((_, acc)) => *acc += t,
+            None => self.buckets.push((name, t)),
+        }
+    }
+}
+
+/// Evaluates a (model, architecture, deployment) triple across phases.
+///
+/// # Examples
+///
+/// ```
+/// use ador_perf::{Deployment, Evaluator};
+/// use ador_model::{presets, Phase};
+///
+/// let model = presets::llama3_8b();
+/// let arch = ador_baselines::ador_table3();
+/// let eval = Evaluator::new(&arch, &model, Deployment::single_device())?;
+/// let tbt = eval.decode_interval(64, 1024)?;
+/// assert!(tbt.as_millis() > 5.0 && tbt.as_millis() < 60.0);
+/// # Ok::<(), ador_perf::PerfError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    arch: &'a Architecture,
+    model: &'a ModelConfig,
+    deployment: Deployment,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Binds an architecture, model and deployment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::InvalidArchitecture`] if the architecture fails
+    /// validation, or [`PerfError::ModelTooLarge`] if the per-device weight
+    /// shard exceeds device memory.
+    pub fn new(
+        arch: &'a Architecture,
+        model: &'a ModelConfig,
+        deployment: Deployment,
+    ) -> Result<Self, PerfError> {
+        arch.validate().map_err(PerfError::InvalidArchitecture)?;
+        let shard = model.weight_bytes() * (1.0 / deployment.devices as f64);
+        if shard > arch.dram.capacity {
+            return Err(PerfError::ModelTooLarge {
+                model: model.name.clone(),
+                needed: shard,
+                capacity: arch.dram.capacity,
+                devices: deployment.devices,
+            });
+        }
+        Ok(Self { arch, model, deployment })
+    }
+
+    /// The bound architecture.
+    pub fn architecture(&self) -> &Architecture {
+        self.arch
+    }
+
+    /// The bound model.
+    pub fn model(&self) -> &ModelConfig {
+        self.model
+    }
+
+    /// The bound deployment.
+    pub fn deployment(&self) -> Deployment {
+        self.deployment
+    }
+
+    /// Latency of one step of `phase`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::KvCacheTooLarge`] if the phase's KV cache does
+    /// not fit next to the weight shard.
+    pub fn step(&self, phase: Phase) -> Result<StepLatency, PerfError> {
+        self.check_kv(phase)?;
+        let d = self.deployment.devices as f64;
+        let summary = StepSummary::compute(self.model, phase);
+        let step_flops = summary.flops * (1.0 / d);
+
+        let mut out = StepLatency {
+            total: Seconds::ZERO,
+            ops_time: Seconds::ZERO,
+            sync_time: Seconds::ZERO,
+            memory_time: Seconds::ZERO,
+            flops_per_device: step_flops,
+            dram_bytes_per_device: summary.dram_bytes() * (1.0 / d),
+            buckets: Vec::new(),
+        };
+
+        let layer_ops = graph::layer_operators(self.model, phase);
+        let mut layer_time = Seconds::ZERO;
+        for op in &layer_ops {
+            let lat = self.op(op, phase, step_flops);
+            layer_time += lat.total();
+            out.memory_time += lat.memory * self.model.layers as f64;
+            out.add_bucket(op.name.breakdown_bucket(), lat.total() * self.model.layers as f64);
+        }
+
+        let mut once_time = Seconds::ZERO;
+        for op in &graph::once_operators(self.model, phase) {
+            let lat = self.op(op, phase, step_flops);
+            once_time += lat.total();
+            out.memory_time += lat.memory;
+            out.add_bucket(op.name.breakdown_bucket(), lat.total());
+        }
+
+        out.ops_time = layer_time * self.model.layers as f64 + once_time;
+        out.sync_time = self.layer_sync_time(phase, layer_time) * self.model.layers as f64;
+        out.total = out.ops_time + out.sync_time;
+        Ok(out)
+    }
+
+    /// Exposed TP synchronization per layer: two Megatron-fusable blocks
+    /// (attention, MLP), each syncing the layer's activations.
+    fn layer_sync_time(&self, phase: Phase, layer_time: Seconds) -> Seconds {
+        if self.deployment.devices == 1 {
+            return Seconds::ZERO;
+        }
+        let msg = Bytes::new(
+            (phase.rows() * self.model.hidden) as u64 * self.model.dtype.bytes(),
+        );
+        let tp = self.deployment.tensor_parallel_plan();
+        let overlap = tp.overlap();
+        let cost = self.deployment.strategy.block_cost(self.deployment.devices, msg);
+        let wire = cost.wire_time(self.deployment.link.bandwidth());
+        let barriers = self.deployment.link.latency() * cost.sync_points as f64;
+        let per_block_window = layer_time / 2.0;
+        (overlap.exposed(per_block_window, wire) + barriers) * 2.0
+    }
+
+    fn op(&self, op: &ador_model::Operator, phase: Phase, step_flops: FlopCount) -> OpLatency {
+        operator_latency(self.arch, op, phase, self.deployment, step_flops)
+    }
+
+    fn check_kv(&self, phase: Phase) -> Result<(), PerfError> {
+        let d = self.deployment.devices as f64;
+        let kv = self.model.kv_cache_bytes(phase.batch(), self.context_len(phase)) * (1.0 / d);
+        let weights = self.model.weight_bytes() * (1.0 / d);
+        let available = self.arch.dram.capacity.saturating_sub(weights);
+        if kv > available {
+            return Err(PerfError::KvCacheTooLarge { kv, available });
+        }
+        Ok(())
+    }
+
+    fn context_len(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Prefill { prompt_len, .. } => prompt_len,
+            Phase::Decode { context_len, .. } => context_len,
+        }
+    }
+
+    /// Time-to-first-token: the prefill pass for `batch` prompts of
+    /// `prompt_len` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn ttft(&self, batch: usize, prompt_len: usize) -> Result<Seconds, PerfError> {
+        Ok(self.step(Phase::prefill(batch, prompt_len))?.total)
+    }
+
+    /// Time-between-tokens: one decode step at the given batch and context.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn decode_interval(&self, batch: usize, context_len: usize) -> Result<Seconds, PerfError> {
+        Ok(self.step(Phase::decode(batch, context_len))?.total)
+    }
+
+    /// Aggregate decode throughput in tokens/s across the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Self::step`] errors.
+    pub fn decode_throughput(
+        &self,
+        batch: usize,
+        context_len: usize,
+    ) -> Result<ador_units::TokensPerSecond, PerfError> {
+        let interval = self.decode_interval(batch, context_len)?;
+        Ok(ador_units::TokensPerSecond::new(batch as f64 / interval.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_baselines::{a100, ador_table3, llmcompass_l, llmcompass_t};
+    use ador_model::presets;
+
+    fn tbt_tok_per_s(arch: &Architecture, batch: usize) -> f64 {
+        let model = presets::llama3_8b();
+        let eval = Evaluator::new(arch, &model, Deployment::single_device()).unwrap();
+        1.0 / eval.decode_interval(batch, 1024).unwrap().get()
+    }
+
+    #[test]
+    fn fig15a_tbt_ordering_at_high_batch() {
+        // Paper Fig. 15a at batch 150: ADOR best, then LLMCompass-L, then
+        // A100 and LLMCompass-T trailing.
+        let ador = tbt_tok_per_s(&ador_table3(), 150);
+        let l = tbt_tok_per_s(&llmcompass_l(), 150);
+        let a = tbt_tok_per_s(&a100(), 150);
+        let t = tbt_tok_per_s(&llmcompass_t(), 150);
+        assert!(ador > l, "ador {ador:.1} vs L {l:.1}");
+        assert!(l > a, "L {l:.1} vs A100 {a:.1}");
+        assert!(ador > t, "ador {ador:.1} vs T {t:.1}");
+    }
+
+    #[test]
+    fn fig15a_ador_beats_a100_tbt_with_growing_gap() {
+        let gap16 = tbt_tok_per_s(&ador_table3(), 16) / tbt_tok_per_s(&a100(), 16);
+        let gap150 = tbt_tok_per_s(&ador_table3(), 150) / tbt_tok_per_s(&a100(), 150);
+        assert!(gap150 > gap16, "gap should grow with batch: {gap16:.2} -> {gap150:.2}");
+        // Paper reports 2.36x at batch 150; accept the right regime.
+        assert!((1.5..3.5).contains(&gap150), "{gap150:.2}");
+    }
+
+    #[test]
+    fn fig15a_ttft_ordering() {
+        // LLMCompass-T (786 TFLOPS) prefills fastest; LLMCompass-L
+        // (196 TFLOPS) slowest; ADOR beats the A100 by ~1.9x.
+        let model = presets::llama3_8b();
+        let ttft = |arch: &Architecture| {
+            Evaluator::new(arch, &model, Deployment::single_device())
+                .unwrap()
+                .ttft(1, 1024)
+                .unwrap()
+        };
+        let a = ttft(&a100());
+        let ador = ttft(&ador_table3());
+        let l = ttft(&llmcompass_l());
+        let t = ttft(&llmcompass_t());
+        assert!(t < ador && ador < a && a < l, "t {t} ador {ador} a {a} l {l}");
+        let ratio = a.get() / ador.get();
+        assert!((1.4..2.6).contains(&ratio), "paper reports ~1.93x, got {ratio:.2}");
+    }
+
+    #[test]
+    fn decode_breakdown_is_attention_heavy_at_long_context() {
+        let model = presets::llama3_8b();
+        let arch = ador_table3();
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+        let step = eval.step(Phase::decode(64, 8192)).unwrap();
+        let mha = step.bucket("MHA");
+        assert!(mha > step.bucket("MLP1") + step.bucket("MLP2"));
+    }
+
+    #[test]
+    fn buckets_sum_to_ops_time() {
+        let model = presets::llama3_8b();
+        let arch = ador_table3();
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+        let step = eval.step(Phase::decode(32, 1024)).unwrap();
+        let sum: Seconds = step.buckets().iter().map(|(_, t)| *t).sum();
+        assert!((sum.get() - step.ops_time.get()).abs() < 1e-9 * step.ops_time.get().max(1.0));
+    }
+
+    #[test]
+    fn model_too_large_detected() {
+        let model = presets::llama3_70b(); // ~141 GB of fp16 weights
+        let arch = ador_table3(); // 80 GiB
+        let err = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap_err();
+        assert!(matches!(err, PerfError::ModelTooLarge { .. }));
+        // Eight devices fit it (Fig. 15b).
+        assert!(Evaluator::new(&arch, &model, Deployment::tensor_parallel(8)).is_ok());
+    }
+
+    #[test]
+    fn kv_cache_overflow_detected() {
+        let model = presets::llama3_8b();
+        let arch = ador_table3();
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+        // 4096 requests x 8192 tokens of KV ≈ 4 TB: cannot fit.
+        let err = eval.step(Phase::decode(4096, 8192)).unwrap_err();
+        assert!(matches!(err, PerfError::KvCacheTooLarge { .. }));
+    }
+
+    #[test]
+    fn fig15b_70b_on_8_devices() {
+        let model = presets::llama3_70b();
+        let arch = ador_table3();
+        let a100 = a100();
+        let mk = |arch| Evaluator::new(arch, &model, Deployment::tensor_parallel(8)).unwrap();
+        let ador_tbt = mk(&arch).decode_interval(150, 1024).unwrap();
+        let a100_tbt = mk(&a100).decode_interval(150, 1024).unwrap();
+        let gap = a100_tbt.get() / ador_tbt.get();
+        // Paper reports 2.51x better TBT at batch 150; our identical-link
+        // sync model dilutes both sides, so we assert the structural win.
+        assert!(gap > 1.4, "{gap:.2}");
+    }
+
+    #[test]
+    fn decode_throughput_grows_with_batch() {
+        let model = presets::llama3_8b();
+        let arch = ador_table3();
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+        let t16 = eval.decode_throughput(16, 1024).unwrap();
+        let t128 = eval.decode_throughput(128, 1024).unwrap();
+        assert!(t128 > t16);
+    }
+
+    #[test]
+    fn dram_utilization_reported_in_range() {
+        let model = presets::llama3_8b();
+        let arch = ador_table3();
+        let eval = Evaluator::new(&arch, &model, Deployment::single_device()).unwrap();
+        let step = eval.step(Phase::decode(16, 1024)).unwrap();
+        let util = step.dram_utilization(arch.dram.bandwidth);
+        assert!(util.get() > 0.3 && util.get() <= 0.95, "{util}");
+    }
+}

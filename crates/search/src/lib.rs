@@ -1,0 +1,313 @@
+//! The ADOR architecture search (paper §V, Fig. 9).
+//!
+//! Given **vendor constraints** (area, SRAM, memory bandwidth/capacity,
+//! process, clock) and **end-user requirements** (TTFT, TBT, request rate)
+//! for a target **workload** (model, batch, sequence length), the search:
+//!
+//! 1. sizes the MAC tree from the bandwidth-matching formula and a lane
+//!    sweep over the model's attention variant (§V-A, Fig. 11b), then
+//!    enumerates systolic-array configurations in multiples of 32 (§V-A,
+//!    Fig. 11a) and sizes local/global SRAM from the activation simulator
+//!    (§V-B, Fig. 12);
+//! 2. solves the minimum NoC and P2P bandwidths that keep communication
+//!    overlapped (§V-C, Fig. 13);
+//! 3. evaluates every candidate with the performance model and picks the
+//!    **smallest-area design that meets the requirements** — vendors pay
+//!    for silicon, users for latency (Fig. 1);
+//! 4. if nothing qualifies, runs the paper's feedback path: report the best
+//!    effort along with which requirement failed and what it would take.
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_search::{SearchInput, UserRequirements, VendorConstraints, Workload};
+//! use ador_model::presets;
+//!
+//! let input = SearchInput {
+//!     vendor: VendorConstraints::a100_class(),
+//!     user: UserRequirements::chatbot(),
+//!     workload: Workload::new(presets::llama3_8b(), 128, 1024),
+//! };
+//! let outcome = ador_search::search(&input)?;
+//! assert!(outcome.satisfied);
+//! assert!(outcome.architecture.is_hda());
+//! # Ok::<(), ador_search::SearchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod constraints;
+mod interconnect;
+mod pareto;
+mod report;
+mod sizing;
+
+pub use constraints::{SearchInput, UserRequirements, VendorConstraints, Workload};
+pub use pareto::{pareto_frontier, ParetoPoint};
+pub use interconnect::{solve_noc_bandwidth, solve_p2p_bandwidth};
+pub use report::{SearchError, SearchOutcome, SearchStep};
+pub use sizing::{mt_candidates, sa_candidates, size_memories};
+
+use ador_hw::{AreaModel, MacTree, SystolicArray};
+use ador_perf::Evaluator;
+use ador_units::Seconds;
+
+/// Runs the full Fig. 9 search loop.
+///
+/// # Errors
+///
+/// Returns [`SearchError::NoFeasibleCandidate`] when not a single candidate
+/// fits the vendor's area/memory budget at all (distinct from "fits but
+/// misses QoS", which yields `satisfied = false` plus the feedback notes).
+pub fn search(input: &SearchInput) -> Result<SearchOutcome, SearchError> {
+    let vendor = &input.vendor;
+    let user = &input.user;
+    let workload = &input.workload;
+    let area_model = AreaModel::default();
+
+    let deployment = workload.deployment(vendor)?;
+    let mut steps: Vec<SearchStep> = Vec::new();
+    let mut best: Option<(f64, SearchOutcome)> = None; // keyed by area
+    let mut best_effort: Option<(f64, SearchOutcome)> = None; // keyed by QoS score
+
+    let mts = mt_candidates(vendor, workload);
+    for mt in &mts {
+        for sa in sa_candidates() {
+            for cores in [8usize, 16, 32, 64, 128] {
+                let Some((local, global)) = size_memories(vendor, workload, cores) else {
+                    continue;
+                };
+                let candidate = build_candidate(vendor, *mt, sa, cores, local, global);
+                let breakdown = area_model.estimate(&candidate);
+                let area = breakdown.total();
+                if area > vendor.area_budget {
+                    continue;
+                }
+                // Step 2: interconnect floors for this candidate.
+                let mut candidate = candidate;
+                candidate.noc_bandwidth = solve_noc_bandwidth(&candidate, workload);
+                candidate.p2p_bandwidth = solve_p2p_bandwidth(&candidate, workload, deployment);
+                let breakdown = area_model.estimate(&candidate);
+                let area = breakdown.total();
+                if area > vendor.area_budget {
+                    continue;
+                }
+
+                // Step 3: evaluate QoS at the operating point.
+                let Ok(eval) = Evaluator::new(&candidate, &workload.model, deployment) else {
+                    continue;
+                };
+                let Ok(ttft) = eval.ttft(1, workload.seq_len) else { continue };
+                let Ok(tbt) = eval.decode_interval(workload.batch, workload.seq_len) else {
+                    continue;
+                };
+
+                let ttft_score = ttft.get() / user.ttft_max.get();
+                let tbt_score = tbt.get() / user.tbt_max.get();
+                let qos_score = ttft_score.max(tbt_score);
+                let satisfied = qos_score <= 1.0;
+
+                steps.push(SearchStep {
+                    candidate: candidate.name.clone(),
+                    area,
+                    ttft,
+                    tbt,
+                    satisfied,
+                });
+
+                let outcome = SearchOutcome {
+                    architecture: candidate,
+                    area: breakdown,
+                    deployment,
+                    ttft,
+                    tbt,
+                    satisfied,
+                    qos_margin: 1.0 - qos_score,
+                    steps: Vec::new(),
+                    notes: Vec::new(),
+                };
+                if satisfied {
+                    let key = area.as_mm2();
+                    if best.as_ref().is_none_or(|(a, _)| key < *a) {
+                        best = Some((key, outcome));
+                    }
+                } else {
+                    let key = qos_score;
+                    if best_effort.as_ref().is_none_or(|(s, _)| key < *s) {
+                        best_effort = Some((key, outcome));
+                    }
+                }
+            }
+        }
+    }
+
+    // Step 4: finalize, or run the feedback path.
+    match (best, best_effort) {
+        (Some((_, mut outcome)), _) => {
+            outcome.steps = steps;
+            Ok(outcome)
+        }
+        (None, Some((_, mut outcome))) => {
+            outcome.notes = feedback_notes(&outcome, user);
+            outcome.steps = steps;
+            Ok(outcome)
+        }
+        (None, None) => Err(SearchError::NoFeasibleCandidate {
+            area_budget: vendor.area_budget,
+            model: workload.model.name.clone(),
+        }),
+    }
+}
+
+fn build_candidate(
+    vendor: &VendorConstraints,
+    mt: MacTree,
+    sa: SystolicArray,
+    cores: usize,
+    local: ador_units::Bytes,
+    global: ador_units::Bytes,
+) -> ador_hw::Architecture {
+    ador_hw::Architecture::builder(format!(
+        "ADOR sa{}x{} mt{}x{} c{}",
+        sa.rows(),
+        sa.cols(),
+        mt.size(),
+        mt.lanes(),
+        cores
+    ))
+    .cores(cores)
+    .systolic_array(sa)
+    .mac_tree(mt)
+    .local_memory(local)
+    .global_memory(global)
+    .dram(ador_hw::memory::DramSpec::hbm2e(vendor.memory_capacity, vendor.memory_bandwidth))
+    .frequency(vendor.frequency)
+    .process(vendor.process)
+    .build()
+}
+
+/// The paper's final-iteration behaviour: when requirements stay unmet,
+/// "the final architecture is proposed along with the additional hardware
+/// specifications needed".
+fn feedback_notes(outcome: &SearchOutcome, user: &UserRequirements) -> Vec<String> {
+    let mut notes = Vec::new();
+    if outcome.ttft > user.ttft_max {
+        let factor = outcome.ttft.get() / user.ttft_max.get();
+        notes.push(format!(
+            "TTFT misses the SLA by {factor:.2}x: allocate more systolic-array area \
+             (or raise the area budget by ~{:.0}%)",
+            (factor - 1.0) * 100.0
+        ));
+    }
+    if outcome.tbt > user.tbt_max {
+        let factor = outcome.tbt.get() / user.tbt_max.get();
+        notes.push(format!(
+            "TBT misses the SLA by {factor:.2}x: memory bandwidth is the binding \
+             resource — provision ~{factor:.2}x the DRAM bandwidth or shard wider"
+        ));
+    }
+    notes
+}
+
+/// Convenience wrapper: search and also verify the result against the
+/// winner's own predicted QoS, returning (outcome, headline TTFT, TBT).
+///
+/// # Errors
+///
+/// Propagates [`search`] errors.
+pub fn search_with_headline(
+    input: &SearchInput,
+) -> Result<(SearchOutcome, Seconds, Seconds), SearchError> {
+    let outcome = search(input)?;
+    let (ttft, tbt) = (outcome.ttft, outcome.tbt);
+    Ok((outcome, ttft, tbt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_model::presets;
+    use ador_perf::Evaluator;
+
+    fn a100_class_input() -> SearchInput {
+        SearchInput {
+            vendor: VendorConstraints::a100_class(),
+            user: UserRequirements::chatbot(),
+            workload: Workload::new(presets::llama3_8b(), 128, 1024),
+        }
+    }
+
+    #[test]
+    fn search_reproduces_table3_shape() {
+        // Under A100-class constraints the paper's search lands on a
+        // 64x64-SA HDA with tens of cores and a die around 516 mm².
+        let outcome = search(&a100_class_input()).unwrap();
+        assert!(outcome.satisfied, "{:?}", outcome.notes);
+        let arch = &outcome.architecture;
+        assert!(arch.is_hda());
+        let sa = arch.sa.unwrap();
+        assert!(
+            (32..=128).contains(&sa.rows()),
+            "SA size {} outside the paper's sweep",
+            sa.rows()
+        );
+        let area = outcome.area.total().as_mm2();
+        assert!((350.0..=826.0).contains(&area), "die {area:.0} mm2");
+    }
+
+    #[test]
+    fn proposed_design_beats_a100_qos() {
+        let input = a100_class_input();
+        let outcome = search(&input).unwrap();
+        let a100 = ador_baselines::a100();
+        let model = &input.workload.model;
+        let gpu = Evaluator::new(&a100, model, outcome.deployment).unwrap();
+        let gpu_tbt = gpu.decode_interval(input.workload.batch, input.workload.seq_len).unwrap();
+        assert!(
+            outcome.tbt < gpu_tbt,
+            "search result {} should beat the A100's {}",
+            outcome.tbt,
+            gpu_tbt
+        );
+    }
+
+    #[test]
+    fn tighter_area_budget_shrinks_the_die() {
+        let mut input = a100_class_input();
+        let spacious = search(&input).unwrap();
+        input.vendor.area_budget = ador_units::Area::from_mm2(spacious.area.total().as_mm2() * 0.85);
+        // Relax QoS so a smaller design can still qualify.
+        input.user.tbt_max = Seconds::from_millis(60.0);
+        input.user.ttft_max = Seconds::from_millis(200.0);
+        let tight = search(&input).unwrap();
+        assert!(tight.area.total() <= spacious.area.total());
+    }
+
+    #[test]
+    fn impossible_sla_returns_feedback() {
+        let mut input = a100_class_input();
+        input.user.tbt_max = Seconds::from_micros(1.0);
+        let outcome = search(&input).unwrap();
+        assert!(!outcome.satisfied);
+        assert!(!outcome.notes.is_empty());
+        assert!(outcome.notes.iter().any(|n| n.contains("TBT")), "{:?}", outcome.notes);
+    }
+
+    #[test]
+    fn search_logs_candidate_steps() {
+        let outcome = search(&a100_class_input()).unwrap();
+        assert!(outcome.steps.len() > 10, "expected a real sweep, got {}", outcome.steps.len());
+    }
+
+    #[test]
+    fn multi_device_workload_plans_deployment() {
+        let input = SearchInput {
+            vendor: VendorConstraints::a100_class(),
+            user: UserRequirements::chatbot(),
+            workload: Workload::new(presets::llama3_70b(), 128, 1024),
+        };
+        let outcome = search(&input).unwrap();
+        assert!(outcome.deployment.devices >= 2, "{}", outcome.deployment.devices);
+    }
+}

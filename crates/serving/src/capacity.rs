@@ -1,0 +1,143 @@
+//! Maximum-capacity search: the largest sustainable request rate under an
+//! SLO (paper Fig. 16).
+
+use ador_hw::Architecture;
+use ador_model::ModelConfig;
+use ador_perf::Deployment;
+use serde::Serialize;
+
+use crate::{QosReport, ServingSim, SimConfig, SimError, Slo, TraceProfile};
+
+/// Result of a capacity search.
+#[derive(Debug, Clone, Serialize)]
+pub struct CapacityResult {
+    /// Largest arrival rate (req/s) that met the SLO.
+    pub rate: f64,
+    /// The QoS report measured at that rate.
+    pub report: QosReport,
+}
+
+/// Bisects the Poisson arrival rate for the largest load that still meets
+/// `slo` (p95), between `lo` and `hi` req/s.
+///
+/// `lo` must be sustainable; if even `lo` violates the SLO the result rate
+/// is `0.0` with the `lo` report attached so callers can inspect why.
+///
+/// # Errors
+///
+/// Propagates simulator construction/run errors.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ador_serving::{max_capacity, SimConfig, Slo, TraceProfile};
+/// use ador_perf::Deployment;
+///
+/// let arch = ador_baselines::ador_table3();
+/// let model = ador_model::presets::llama3_8b();
+/// let cfg = SimConfig::new(1.0, 128).with_requests(150);
+/// let cap = max_capacity(
+///     &arch, &model, Deployment::single_device(), cfg,
+///     TraceProfile::ultrachat_like(), Slo::relaxed(), (0.5, 40.0), 6,
+/// )?;
+/// assert!(cap.rate > 0.0);
+/// # Ok::<(), ador_serving::SimError>(())
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn max_capacity(
+    arch: &Architecture,
+    model: &ModelConfig,
+    deployment: Deployment,
+    base_cfg: SimConfig,
+    profile: TraceProfile,
+    slo: Slo,
+    (lo, hi): (f64, f64),
+    iterations: usize,
+) -> Result<CapacityResult, SimError> {
+    assert!(lo > 0.0 && hi > lo, "capacity bounds must satisfy 0 < lo < hi");
+    let run = |rate: f64| -> Result<QosReport, SimError> {
+        let cfg = base_cfg.with_arrival_rate(rate);
+        ServingSim::new(arch, model, deployment, cfg)?.run(profile)
+    };
+
+    let lo_report = run(lo)?;
+    if !slo.attained(&lo_report) {
+        return Ok(CapacityResult { rate: 0.0, report: lo_report });
+    }
+
+    let mut best_rate = lo;
+    let mut best_report = lo_report;
+    let (mut lo, mut hi) = (lo, hi);
+    for _ in 0..iterations {
+        let mid = 0.5 * (lo + hi);
+        let report = run(mid)?;
+        if slo.attained(&report) {
+            best_rate = mid;
+            best_report = report;
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(CapacityResult { rate: best_rate, report: best_report })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_baselines::ador_table3;
+    use ador_model::presets;
+
+    fn capacity(slo: Slo) -> CapacityResult {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 128).with_requests(80).with_seed(5);
+        max_capacity(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            cfg,
+            TraceProfile::ultrachat_like(),
+            slo,
+            (0.5, 60.0),
+            5,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn relaxed_slo_allows_more_load_than_strict() {
+        let strict = capacity(Slo::strict());
+        let relaxed = capacity(Slo::relaxed());
+        assert!(
+            relaxed.rate >= strict.rate,
+            "strict {:.1} vs relaxed {:.1}",
+            strict.rate,
+            relaxed.rate
+        );
+        assert!(relaxed.rate > 1.0, "{:.2}", relaxed.rate);
+    }
+
+    #[test]
+    fn impossible_slo_reports_zero() {
+        let r = capacity(Slo::tbt_only(ador_units::Seconds::from_micros(1.0)));
+        assert_eq!(r.rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn bad_bounds_rejected() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let _ = max_capacity(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 8),
+            TraceProfile::short_chat(),
+            Slo::strict(),
+            (5.0, 2.0),
+            3,
+        );
+    }
+}

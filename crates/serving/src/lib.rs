@@ -1,0 +1,52 @@
+//! Discrete-event LLM serving simulation (paper §V-D, Fig. 14b):
+//! Poisson request arrivals, continuous batching, and QoS measurement.
+//!
+//! The simulator replicates the paper's serving environment: a request
+//! generator draws arrival times from a Poisson process and prompt/response
+//! lengths from a chat-trace distribution; a continuous-batching scheduler
+//! (Fig. 2b) admits prefills alongside running decodes; per-step latencies
+//! come from the [`ador_perf`] analytical model; and a QoS calculator
+//! reports TTFT / TBT / end-to-end percentiles, SLO attainment and the
+//! maximum sustainable request rate (Fig. 16).
+//!
+//! The paper pulls `HuggingFaceH4/ultrachat_200k` from the hub to
+//! reconstruct token-length patterns; offline, we substitute a seeded
+//! log-normal fit of the same marginals (see `DESIGN.md` §2.7).
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_serving::{ServingSim, SimConfig, TraceProfile};
+//! use ador_perf::Deployment;
+//! use ador_model::presets;
+//!
+//! let arch = ador_baselines::ador_table3();
+//! let model = presets::llama3_8b();
+//! let cfg = SimConfig::new(2.0, 64).with_requests(40).with_seed(7);
+//! let report = ServingSim::new(&arch, &model, Deployment::single_device(), cfg)?
+//!     .run(TraceProfile::ultrachat_like())?;
+//! assert_eq!(report.completed, 40);
+//! assert!(report.tbt.p50.as_millis() > 1.0);
+//! # Ok::<(), ador_serving::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod generator;
+mod qos;
+mod request;
+mod sim;
+mod slo;
+mod sweep;
+mod trace;
+
+pub use capacity::{max_capacity, CapacityResult};
+pub use generator::RequestGenerator;
+pub use qos::{LatencyStats, QosReport};
+pub use request::{Request, RequestOutcome};
+pub use sim::{ServingSim, SimConfig, SimError};
+pub use slo::Slo;
+pub use sweep::{saturation_knee, sweep_rates, SweepPoint};
+pub use trace::TraceProfile;

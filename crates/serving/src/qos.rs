@@ -1,0 +1,135 @@
+//! QoS aggregation: the "QoS Calculator" of Fig. 14b.
+
+use ador_units::Seconds;
+use serde::Serialize;
+
+use crate::RequestOutcome;
+
+/// Percentile summary of a latency population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean: Seconds,
+    /// Median.
+    pub p50: Seconds,
+    /// 95th percentile.
+    pub p95: Seconds,
+    /// 99th percentile.
+    pub p99: Seconds,
+    /// Maximum.
+    pub max: Seconds,
+}
+
+impl LatencyStats {
+    /// Computes stats over `samples` (unsorted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(samples: &[Seconds]) -> Self {
+        assert!(!samples.is_empty(), "cannot summarize an empty latency population");
+        let mut sorted: Vec<Seconds> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+        let pick = |q: f64| {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        let mean = sorted.iter().copied().sum::<Seconds>() / sorted.len() as f64;
+        Self { mean, p50: pick(0.50), p95: pick(0.95), p99: pick(0.99), max: *sorted.last().unwrap() }
+    }
+}
+
+/// The full QoS report of one serving simulation.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QosReport {
+    /// Completed requests.
+    pub completed: usize,
+    /// Wall-clock span of the simulation.
+    pub makespan: Seconds,
+    /// Time-to-first-token stats.
+    pub ttft: LatencyStats,
+    /// Time-between-tokens stats (per-request means).
+    pub tbt: LatencyStats,
+    /// End-to-end latency stats.
+    pub e2e: LatencyStats,
+    /// Sustained request throughput (completed / makespan).
+    pub requests_per_sec: f64,
+    /// Generated-token throughput across all requests.
+    pub tokens_per_sec: f64,
+    /// Mean decode batch occupancy observed across engine steps.
+    pub mean_batch: f64,
+    /// Peak decode batch occupancy.
+    pub peak_batch: usize,
+}
+
+impl QosReport {
+    /// Builds a report from completed outcomes plus engine-level counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `outcomes` is empty.
+    pub fn from_outcomes(
+        outcomes: &[RequestOutcome],
+        makespan: Seconds,
+        mean_batch: f64,
+        peak_batch: usize,
+    ) -> Self {
+        assert!(!outcomes.is_empty(), "no completed requests to report on");
+        let ttfts: Vec<Seconds> = outcomes.iter().map(|o| o.ttft).collect();
+        let tbts: Vec<Seconds> = outcomes.iter().map(|o| o.mean_tbt).collect();
+        let e2es: Vec<Seconds> = outcomes.iter().map(|o| o.e2e).collect();
+        let tokens: usize = outcomes.iter().map(|o| o.request.output_tokens).sum();
+        let span = makespan.get().max(1e-12);
+        Self {
+            completed: outcomes.len(),
+            makespan,
+            ttft: LatencyStats::from_samples(&ttfts),
+            tbt: LatencyStats::from_samples(&tbts),
+            e2e: LatencyStats::from_samples(&e2es),
+            requests_per_sec: outcomes.len() as f64 / span,
+            tokens_per_sec: tokens as f64 / span,
+            mean_batch,
+            peak_batch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Request;
+
+    fn outcome(id: u64, ttft_ms: f64, tbt_ms: f64) -> RequestOutcome {
+        RequestOutcome {
+            request: Request::new(id, Seconds::ZERO, 100, 10),
+            ttft: Seconds::from_millis(ttft_ms),
+            mean_tbt: Seconds::from_millis(tbt_ms),
+            max_tbt: Seconds::from_millis(tbt_ms * 1.5),
+            e2e: Seconds::from_millis(ttft_ms + 10.0 * tbt_ms),
+        }
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let samples: Vec<Seconds> = (1..=100).map(|i| Seconds::from_millis(i as f64)).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert!((s.p50.as_millis() - 50.0).abs() <= 1.5);
+        assert!((s.p95.as_millis() - 95.0).abs() <= 1.5);
+    }
+
+    #[test]
+    fn report_counts_throughput() {
+        let outcomes: Vec<RequestOutcome> = (0..10).map(|i| outcome(i, 50.0, 20.0)).collect();
+        let report = QosReport::from_outcomes(&outcomes, Seconds::new(5.0), 4.0, 8);
+        assert_eq!(report.completed, 10);
+        assert!((report.requests_per_sec - 2.0).abs() < 1e-9);
+        assert!((report.tokens_per_sec - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_population_rejected() {
+        let _ = LatencyStats::from_samples(&[]);
+    }
+}

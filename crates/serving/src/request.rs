@@ -1,0 +1,91 @@
+//! Serving requests and their measured outcomes.
+
+use ador_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// One user request: arrival time plus prompt/response token lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Monotonic request id (arrival order).
+    pub id: u64,
+    /// Arrival time since simulation start.
+    pub arrival: Seconds,
+    /// Prompt length in tokens.
+    pub input_tokens: usize,
+    /// Response length in tokens.
+    pub output_tokens: usize,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either token count is zero.
+    pub fn new(id: u64, arrival: Seconds, input_tokens: usize, output_tokens: usize) -> Self {
+        assert!(
+            input_tokens > 0 && output_tokens > 0,
+            "requests must have at least one input and output token"
+        );
+        Self { id, arrival, input_tokens, output_tokens }
+    }
+
+    /// Total KV-cache tokens this request will eventually hold.
+    pub fn total_tokens(&self) -> usize {
+        self.input_tokens + self.output_tokens
+    }
+}
+
+/// The measured lifecycle of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request this outcome belongs to.
+    pub request: Request,
+    /// Time from arrival to first token (queueing + prefill).
+    pub ttft: Seconds,
+    /// Mean interval between generated tokens.
+    pub mean_tbt: Seconds,
+    /// Worst single token interval.
+    pub max_tbt: Seconds,
+    /// Time from arrival to final token.
+    pub e2e: Seconds,
+}
+
+impl RequestOutcome {
+    /// Generation throughput for this request, in tokens per second.
+    pub fn decode_rate(&self) -> f64 {
+        if self.mean_tbt.is_zero() {
+            return 0.0;
+        }
+        1.0 / self.mean_tbt.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let r = Request::new(1, Seconds::ZERO, 100, 50);
+        assert_eq!(r.total_tokens(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_output_rejected() {
+        let _ = Request::new(1, Seconds::ZERO, 100, 0);
+    }
+
+    #[test]
+    fn decode_rate_inverts_tbt() {
+        let out = RequestOutcome {
+            request: Request::new(1, Seconds::ZERO, 10, 10),
+            ttft: Seconds::from_millis(50.0),
+            mean_tbt: Seconds::from_millis(20.0),
+            max_tbt: Seconds::from_millis(30.0),
+            e2e: Seconds::from_millis(250.0),
+        };
+        assert_eq!(out.decode_rate(), 50.0);
+    }
+}

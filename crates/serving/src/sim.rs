@@ -1,0 +1,450 @@
+//! The serving engine: continuous batching over the analytical performance
+//! model (paper Fig. 2b, Fig. 14b).
+//!
+//! Each engine iteration fuses the prefill of newly admitted requests with
+//! one decode step of the running batch — the continuous-batching behaviour
+//! whose QoS side-effects (prefill time bleeding into TBT, queueing
+//! inflating TTFT) the paper's Fig. 2b illustrates.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use ador_hw::Architecture;
+use ador_model::ModelConfig;
+use ador_perf::{Deployment, Evaluator, PerfError};
+use ador_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+use crate::{QosReport, Request, RequestGenerator, RequestOutcome, TraceProfile};
+
+/// Serving-simulation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Mean Poisson arrival rate, requests/s.
+    pub arrival_rate: f64,
+    /// Maximum concurrent requests in the decode batch.
+    pub max_batch: usize,
+    /// Requests to simulate.
+    pub requests: usize,
+    /// RNG seed (arrivals and lengths).
+    pub seed: u64,
+    /// Maximum prompt tokens coalesced into one prefill step.
+    pub prefill_chunk: usize,
+    /// Fraction of post-weight device memory usable for KV cache.
+    pub kv_memory_fraction: f64,
+}
+
+impl SimConfig {
+    /// Creates a config with `arrival_rate` req/s and `max_batch` decode
+    /// slots; 200 requests, seed 0, 4096-token prefill chunks, 90 % KV
+    /// memory fraction.
+    pub fn new(arrival_rate: f64, max_batch: usize) -> Self {
+        Self {
+            arrival_rate,
+            max_batch,
+            requests: 200,
+            seed: 0,
+            prefill_chunk: 4096,
+            kv_memory_fraction: 0.9,
+        }
+    }
+
+    /// Sets the simulated request count.
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the arrival rate.
+    pub fn with_arrival_rate(mut self, rate: f64) -> Self {
+        self.arrival_rate = rate;
+        self
+    }
+}
+
+/// Why a simulation failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The performance model rejected the configuration.
+    Perf(PerfError),
+    /// The configuration admits no requests (zero batch or requests).
+    EmptyConfig,
+    /// The device cannot hold even one request's KV cache.
+    NoKvHeadroom {
+        /// Tokens of KV budget available.
+        budget_tokens: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Perf(e) => write!(f, "performance model error: {e}"),
+            SimError::EmptyConfig => write!(f, "simulation admits no requests"),
+            SimError::NoKvHeadroom { budget_tokens } => {
+                write!(f, "KV budget of {budget_tokens} tokens cannot hold a single request")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Perf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PerfError> for SimError {
+    fn from(e: PerfError) -> Self {
+        SimError::Perf(e)
+    }
+}
+
+#[derive(Debug)]
+struct Active {
+    request: Request,
+    context: usize,
+    generated: usize,
+    first_token_at: Seconds,
+    tbt_sum: Seconds,
+    tbt_max: Seconds,
+    tbt_count: usize,
+}
+
+/// The serving simulator: binds an architecture, model and deployment, and
+/// replays a Poisson request stream through continuous batching.
+pub struct ServingSim<'a> {
+    evaluator: Evaluator<'a>,
+    cfg: SimConfig,
+    kv_budget_tokens: usize,
+    decode_cache: HashMap<(usize, usize), Seconds>,
+    prefill_cache: HashMap<(usize, usize), Seconds>,
+}
+
+const CTX_BUCKET: usize = 128;
+
+impl<'a> ServingSim<'a> {
+    /// Creates a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Perf`] if the model does not fit the deployment,
+    /// [`SimError::EmptyConfig`] for a zero batch/request count, or
+    /// [`SimError::NoKvHeadroom`] if no KV space remains after weights.
+    pub fn new(
+        arch: &'a Architecture,
+        model: &'a ModelConfig,
+        deployment: Deployment,
+        cfg: SimConfig,
+    ) -> Result<Self, SimError> {
+        if cfg.max_batch == 0 || cfg.requests == 0 {
+            return Err(SimError::EmptyConfig);
+        }
+        let evaluator = Evaluator::new(arch, model, deployment)?;
+        let devices = deployment.devices as u64;
+        let weights_per_dev = model.weight_bytes().get() / devices;
+        let available = arch
+            .dram
+            .capacity
+            .get()
+            .saturating_sub(weights_per_dev) as f64
+            * cfg.kv_memory_fraction;
+        let kv_per_token_per_dev = model.kv_bytes_per_token().get() as f64 / devices as f64;
+        let budget_tokens = (available / kv_per_token_per_dev) as usize;
+        if budget_tokens < model.max_seq_len.min(1024) {
+            return Err(SimError::NoKvHeadroom { budget_tokens });
+        }
+        Ok(Self {
+            evaluator,
+            cfg,
+            kv_budget_tokens: budget_tokens,
+            decode_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+        })
+    }
+
+    /// The KV budget in tokens (across the whole deployment).
+    pub fn kv_budget_tokens(&self) -> usize {
+        self.kv_budget_tokens
+    }
+
+    /// Runs the simulation over requests drawn from `profile`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates performance-model errors ([`SimError::Perf`]).
+    pub fn run(mut self, profile: TraceProfile) -> Result<QosReport, SimError> {
+        let mut pending: VecDeque<Request> =
+            RequestGenerator::new(self.cfg.arrival_rate, profile, self.cfg.seed)
+                .take(self.cfg.requests)
+                .into();
+        let mut waiting: VecDeque<Request> = VecDeque::new();
+        let mut running: Vec<Active> = Vec::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+        let mut now = Seconds::ZERO;
+        let mut kv_tokens_in_use = 0usize;
+        let mut batch_samples = 0.0f64;
+        let mut steps = 0usize;
+        let mut peak_batch = 0usize;
+        let total = self.cfg.requests;
+
+        while outcomes.len() < total {
+            // Admit arrivals.
+            while pending.front().is_some_and(|r| r.arrival <= now) {
+                waiting.push_back(pending.pop_front().expect("peeked"));
+            }
+            if running.is_empty() && waiting.is_empty() {
+                match pending.front() {
+                    Some(next) => {
+                        now = next.arrival;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+
+            // Pick prefill admissions for this iteration.
+            let mut admitted: Vec<Request> = Vec::new();
+            let mut prefill_tokens = 0usize;
+            while let Some(w) = waiting.front() {
+                let slot_ok = running.len() + admitted.len() < self.cfg.max_batch;
+                let kv_ok = kv_tokens_in_use + w.total_tokens() <= self.kv_budget_tokens;
+                let chunk_ok =
+                    admitted.is_empty() || prefill_tokens + w.input_tokens <= self.cfg.prefill_chunk;
+                if !(slot_ok && kv_ok && chunk_ok) {
+                    break;
+                }
+                prefill_tokens += w.input_tokens;
+                kv_tokens_in_use += w.total_tokens();
+                admitted.push(waiting.pop_front().expect("peeked"));
+            }
+
+            // Fused engine iteration: prefill the admitted chunk, then one
+            // decode step of the running batch.
+            let mut step_time = Seconds::ZERO;
+            if !admitted.is_empty() {
+                let mean_prompt = (prefill_tokens / admitted.len()).max(1);
+                step_time += self.prefill_time(admitted.len(), mean_prompt)?;
+            }
+            if !running.is_empty() {
+                let mean_ctx = running.iter().map(|a| a.context).sum::<usize>() / running.len();
+                step_time += self.decode_time(running.len(), mean_ctx.max(1))?;
+            }
+            now += step_time;
+            steps += 1;
+            batch_samples += running.len() as f64;
+            peak_batch = peak_batch.max(running.len() + admitted.len());
+
+            // Pre-existing running requests each produced one token.
+            let mut i = 0;
+            while i < running.len() {
+                let a = &mut running[i];
+                a.generated += 1;
+                a.context += 1;
+                a.tbt_sum += step_time;
+                a.tbt_max = a.tbt_max.max(step_time);
+                a.tbt_count += 1;
+                if a.generated >= a.request.output_tokens {
+                    let a = running.swap_remove(i);
+                    kv_tokens_in_use = kv_tokens_in_use.saturating_sub(a.request.total_tokens());
+                    outcomes.push(finish(a, now));
+                } else {
+                    i += 1;
+                }
+            }
+
+            // Admitted requests emitted their first token at the end of the
+            // fused step.
+            for request in admitted {
+                let ttft = now - request.arrival;
+                if request.output_tokens == 1 {
+                    kv_tokens_in_use = kv_tokens_in_use.saturating_sub(request.total_tokens());
+                    outcomes.push(RequestOutcome {
+                        request,
+                        ttft,
+                        mean_tbt: Seconds::ZERO,
+                        max_tbt: Seconds::ZERO,
+                        e2e: ttft,
+                    });
+                } else {
+                    running.push(Active {
+                        context: request.input_tokens + 1,
+                        generated: 1,
+                        first_token_at: now,
+                        tbt_sum: Seconds::ZERO,
+                        tbt_max: Seconds::ZERO,
+                        tbt_count: 0,
+                        request,
+                    });
+                }
+            }
+        }
+
+        let mean_batch = if steps == 0 { 0.0 } else { batch_samples / steps as f64 };
+        Ok(QosReport::from_outcomes(&outcomes, now, mean_batch, peak_batch))
+    }
+
+    fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
+        let key = (batch, context.div_ceil(CTX_BUCKET) * CTX_BUCKET);
+        if let Some(&t) = self.decode_cache.get(&key) {
+            return Ok(t);
+        }
+        let t = self.evaluator.decode_interval(batch, key.1)?;
+        self.decode_cache.insert(key, t);
+        Ok(t)
+    }
+
+    fn prefill_time(&mut self, batch: usize, prompt: usize) -> Result<Seconds, SimError> {
+        let key = (batch, prompt.div_ceil(CTX_BUCKET) * CTX_BUCKET);
+        if let Some(&t) = self.prefill_cache.get(&key) {
+            return Ok(t);
+        }
+        let t = self.evaluator.ttft(batch, key.1)?;
+        self.prefill_cache.insert(key, t);
+        Ok(t)
+    }
+}
+
+impl fmt::Debug for ServingSim<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServingSim")
+            .field("arch", &self.evaluator.architecture().name)
+            .field("model", &self.evaluator.model().name)
+            .field("cfg", &self.cfg)
+            .field("kv_budget_tokens", &self.kv_budget_tokens)
+            .finish()
+    }
+}
+
+fn finish(a: Active, now: Seconds) -> RequestOutcome {
+    let mean_tbt = if a.tbt_count == 0 {
+        Seconds::ZERO
+    } else {
+        a.tbt_sum / a.tbt_count as f64
+    };
+    RequestOutcome {
+        ttft: a.first_token_at - a.request.arrival,
+        mean_tbt,
+        max_tbt: a.tbt_max,
+        e2e: now - a.request.arrival,
+        request: a.request,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_baselines::{a100, ador_table3};
+    use ador_model::presets;
+
+    fn run(rate: f64, requests: usize, seed: u64) -> QosReport {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(rate, 64).with_requests(requests).with_seed(seed);
+        ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(TraceProfile::ultrachat_like())
+            .unwrap()
+    }
+
+    #[test]
+    fn completes_every_request() {
+        let report = run(2.0, 50, 1);
+        assert_eq!(report.completed, 50);
+        assert!(report.makespan > Seconds::ZERO);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = run(2.0, 30, 9);
+        let b = run(2.0, 30, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ttft_never_exceeds_e2e() {
+        let report = run(4.0, 60, 2);
+        assert!(report.ttft.p99 <= report.e2e.max);
+        assert!(report.ttft.mean <= report.e2e.mean);
+    }
+
+    #[test]
+    fn overload_degrades_qos() {
+        // Past saturation, queueing blows up TTFT and batches fill up.
+        let light = run(1.0, 60, 3);
+        let heavy = run(50.0, 60, 3);
+        assert!(heavy.ttft.p95 > light.ttft.p95);
+        assert!(heavy.mean_batch > light.mean_batch);
+        assert!(heavy.tbt.p50 >= light.tbt.p50);
+    }
+
+    #[test]
+    fn a100_serves_fewer_tokens_than_ador() {
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(8.0, 64).with_requests(60).with_seed(4);
+        let mk = |arch: &Architecture| {
+            ServingSim::new(arch, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(TraceProfile::ultrachat_like())
+                .unwrap()
+        };
+        let gpu = mk(&a100());
+        let ador = mk(&ador_table3());
+        assert!(ador.tokens_per_sec > gpu.tokens_per_sec);
+        assert!(ador.tbt.p50 < gpu.tbt.p50);
+    }
+
+    #[test]
+    fn kv_budget_positive() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let sim = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 16),
+        )
+        .unwrap();
+        // 80 GiB − 16 GB of weights leaves room for ~450 K tokens at 128 KiB.
+        assert!(sim.kv_budget_tokens() > 300_000, "{}", sim.kv_budget_tokens());
+    }
+
+    #[test]
+    fn rejects_empty_config() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let err = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 0),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::EmptyConfig);
+    }
+
+    #[test]
+    fn model_that_does_not_fit_is_reported() {
+        let arch = ador_table3();
+        let model = presets::llama3_70b();
+        let err = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 16),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::Perf(PerfError::ModelTooLarge { .. })));
+    }
+
+    use ador_hw::Architecture;
+}

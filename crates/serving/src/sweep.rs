@@ -1,0 +1,121 @@
+//! Load sweeps: QoS as a function of offered load — the raw material for
+//! capacity planning and the Fig. 16 curves.
+
+use ador_hw::Architecture;
+use ador_model::ModelConfig;
+use ador_perf::Deployment;
+use serde::Serialize;
+
+use crate::{QosReport, ServingSim, SimConfig, SimError, TraceProfile};
+
+/// One point of a load sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepPoint {
+    /// Offered arrival rate (req/s).
+    pub rate: f64,
+    /// Measured QoS at that rate.
+    pub report: QosReport,
+}
+
+impl SweepPoint {
+    /// Goodput ratio: completed throughput over offered load (≈1 below
+    /// saturation, falling once the queue grows within the horizon).
+    pub fn goodput_ratio(&self) -> f64 {
+        self.report.requests_per_sec / self.rate
+    }
+}
+
+/// Runs the serving simulation at each rate in `rates`.
+///
+/// # Errors
+///
+/// Propagates simulator errors from any point of the sweep.
+///
+/// # Examples
+///
+/// ```
+/// use ador_serving::{sweep_rates, SimConfig, TraceProfile};
+/// use ador_perf::Deployment;
+///
+/// let arch = ador_baselines::ador_table3();
+/// let model = ador_model::presets::llama3_8b();
+/// let points = sweep_rates(
+///     &arch, &model, Deployment::single_device(),
+///     SimConfig::new(1.0, 64).with_requests(40),
+///     TraceProfile::short_chat(),
+///     &[1.0, 4.0, 16.0],
+/// )?;
+/// assert_eq!(points.len(), 3);
+/// // TTFT p95 is non-decreasing in offered load.
+/// assert!(points[0].report.ttft.p95 <= points[2].report.ttft.p95);
+/// # Ok::<(), ador_serving::SimError>(())
+/// ```
+pub fn sweep_rates(
+    arch: &Architecture,
+    model: &ModelConfig,
+    deployment: Deployment,
+    base_cfg: SimConfig,
+    profile: TraceProfile,
+    rates: &[f64],
+) -> Result<Vec<SweepPoint>, SimError> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let cfg = base_cfg.with_arrival_rate(rate);
+            let report = ServingSim::new(arch, model, deployment, cfg)?.run(profile)?;
+            Ok(SweepPoint { rate, report })
+        })
+        .collect()
+}
+
+/// Finds the saturation knee: the first rate at which the p95 TTFT exceeds
+/// `knee_factor` times the lightest-load p95 TTFT. Returns `None` if the
+/// sweep never saturates.
+pub fn saturation_knee(points: &[SweepPoint], knee_factor: f64) -> Option<f64> {
+    let baseline = points.first()?.report.ttft.p95;
+    points
+        .iter()
+        .find(|p| p.report.ttft.p95.get() > baseline.get() * knee_factor)
+        .map(|p| p.rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_model::presets;
+
+    fn sweep() -> Vec<SweepPoint> {
+        let arch = ador_baselines::ador_table3();
+        let model = presets::llama3_8b();
+        sweep_rates(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 32).with_requests(64).with_seed(31),
+            TraceProfile::ultrachat_like(),
+            &[1.0, 4.0, 16.0, 64.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ttft_degrades_with_load() {
+        let pts = sweep();
+        assert!(pts[0].report.ttft.p95 <= pts[3].report.ttft.p95);
+    }
+
+    #[test]
+    fn knee_detected_under_overload() {
+        let pts = sweep();
+        let knee = saturation_knee(&pts, 3.0);
+        assert!(knee.is_some(), "64 req/s must saturate a 32-slot engine");
+        assert!(knee.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn goodput_near_one_below_saturation() {
+        let pts = sweep();
+        // Completed/offered within the horizon at light load.
+        assert!((0.5..=1.5).contains(&pts[0].goodput_ratio()), "{}", pts[0].goodput_ratio());
+    }
+}

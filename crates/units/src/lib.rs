@@ -1,0 +1,45 @@
+//! Typed physical quantities used throughout the ADOR framework.
+//!
+//! Analytical accelerator models juggle bytes, bandwidths, cycle counts,
+//! frequencies, FLOP counts and die areas. Mixing those up silently is the
+//! classic source of simulator bugs, so every quantity gets a newtype
+//! ([C-NEWTYPE]) with only the arithmetic that is dimensionally meaningful:
+//!
+//! * [`Bytes`] ÷ [`Bandwidth`] → [`Seconds`]
+//! * [`Cycles`] ÷ [`Frequency`] → [`Seconds`]
+//! * [`FlopCount`] ÷ [`FlopRate`] → [`Seconds`]
+//! * scaling by dimensionless `f64` / [`Utilization`] everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_units::{Bandwidth, Bytes, Frequency, Cycles};
+//!
+//! let weights = Bytes::from_gib(16);
+//! let hbm = Bandwidth::from_tbps(2.0);
+//! let stream_time = weights / hbm;
+//! assert!((stream_time.as_millis() - 8.59).abs() < 0.01);
+//!
+//! let fill = Cycles::new(128) / Frequency::from_ghz(1.5);
+//! assert!(fill.as_micros() < 0.1);
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+#[macro_use]
+mod macros;
+
+mod area;
+mod bytes;
+mod compute;
+mod ratio;
+mod time;
+
+pub use area::{Area, Power};
+pub use bytes::{Bandwidth, Bytes};
+pub use compute::{FlopCount, FlopRate, TokensPerSecond};
+pub use ratio::Utilization;
+pub use time::{Cycles, Frequency, Seconds};

@@ -1,0 +1,67 @@
+//! Chatbot serving study: QoS under load and SLO-bounded capacity.
+//!
+//! Reproduces the Fig. 16 methodology: serve LLaMA3-8B (one device) and
+//! Yi-34B (two devices) against an ultrachat-like trace, measure QoS at
+//! increasing request rates, and bisect the maximum capacity under strict
+//! and relaxed TBT SLOs.
+//!
+//! Run with: `cargo run --release --example chatbot_serving`
+
+use ador::model::{presets, ModelConfig};
+use ador::perf::Deployment;
+use ador::serving::{max_capacity, ServingSim, SimConfig, Slo, TraceProfile};
+use ador::AdorError;
+
+fn qos_at_rates(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    println!("--- {} on {} device(s) ---", model.name, deployment.devices);
+    println!("rate(req/s) | TTFT p95 | TBT p95 | mean batch | tok/s");
+    for rate in [2.0, 5.0, 10.0, 20.0] {
+        let cfg = SimConfig::new(rate, 128).with_requests(120).with_seed(7);
+        let report = ServingSim::new(&arch, model, deployment, cfg)?
+            .run(TraceProfile::ultrachat_like())?;
+        println!(
+            "{rate:>10.1} | {:>8} | {:>7} | {:>10.1} | {:>6.0}",
+            format!("{}", report.ttft.p95),
+            format!("{}", report.tbt.p95),
+            report.mean_batch,
+            report.tokens_per_sec,
+        );
+    }
+    Ok(())
+}
+
+fn capacity(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let base = SimConfig::new(1.0, 128).with_requests(120).with_seed(11);
+    for (label, slo) in [("strict (25 ms TBT)", Slo::strict()), ("relaxed (50 ms TBT)", Slo::relaxed())] {
+        let cap = max_capacity(
+            &arch,
+            model,
+            deployment,
+            base,
+            TraceProfile::ultrachat_like(),
+            slo,
+            (0.5, 60.0),
+            7,
+        )?;
+        println!(
+            "{}: max capacity {:.1} req/s (TBT p95 {} at that rate)",
+            label, cap.rate, cap.report.tbt.p95
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), AdorError> {
+    println!("=== QoS vs load (Fig. 16 methodology) ===");
+    qos_at_rates(&presets::llama3_8b(), Deployment::single_device())?;
+    qos_at_rates(&presets::yi_34b(), Deployment::tensor_parallel(2))?;
+
+    println!("\n=== SLO-bounded max capacity ===");
+    println!("LLaMA3 8B, 1 device:");
+    capacity(&presets::llama3_8b(), Deployment::single_device())?;
+    println!("Yi 34B, 2 devices:");
+    capacity(&presets::yi_34b(), Deployment::tensor_parallel(2))?;
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Design-space sweep: the latency/throughput trade-off of Fig. 1.
+//!
+//! Sweeps the SA-vs-MT allocation of an ADOR-template chip at a fixed
+//! silicon budget and prints each design's prefill throughput (vendor's
+//! axis) against its decode latency (user's axis) — the Pareto frontier the
+//! paper draws between Groq-TSP-style latency machines and TPU-style
+//! throughput machines.
+//!
+//! Run with: `cargo run --release --example design_space_sweep`
+
+use ador::hw::memory::DramSpec;
+use ador::hw::{Architecture, AreaModel, MacTree, SystolicArray};
+use ador::model::presets;
+use ador::perf::{Deployment, Evaluator};
+use ador::units::{Bandwidth, Bytes, Frequency};
+
+fn build(name: &str, sa_dim: usize, mt_lanes: usize, cores: usize) -> Architecture {
+    let mut b = Architecture::builder(name)
+        .cores(cores)
+        .local_memory(Bytes::from_kib(2048))
+        .global_memory(Bytes::from_mib(16))
+        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .p2p_bandwidth(Bandwidth::from_gbps(64.0))
+        .frequency(Frequency::from_mhz(1500.0));
+    if sa_dim > 0 {
+        b = b.systolic_array(SystolicArray::square(sa_dim));
+    }
+    if mt_lanes > 0 {
+        b = b.mac_tree(MacTree::new(16, mt_lanes));
+    }
+    b.build()
+}
+
+fn main() {
+    let model = presets::llama3_8b();
+    let area_model = AreaModel::default();
+    let batch = 64;
+    let seq = 1024;
+
+    // From latency-oriented (all MT) through balanced HDAs to
+    // throughput-oriented (all SA).
+    let designs = [
+        ("MT-only (latency)", build("mt-only", 0, 64, 32)),
+        ("HDA 32x32 + MT", build("hda-32", 32, 16, 32)),
+        ("HDA 64x64 + MT (Table III)", build("hda-64", 64, 16, 32)),
+        ("HDA 96x96 + MT", build("hda-96", 96, 16, 16)),
+        ("SA-only (throughput)", build("sa-only", 96, 0, 32)),
+    ];
+
+    println!("=== Fig. 1 design space: LLaMA3-8B, batch {batch}, seq {seq} ===");
+    println!(
+        "{:<28} | {:>9} | {:>10} | {:>10} | {:>12}",
+        "design", "die (mm2)", "TTFT (ms)", "TBT (ms)", "prefill TF/s"
+    );
+    for (label, arch) in &designs {
+        let eval = Evaluator::new(arch, &model, Deployment::single_device())
+            .expect("model fits one device");
+        let ttft = eval.ttft(1, seq).expect("prefill evaluates");
+        let step = eval.step(ador::model::Phase::prefill(1, seq)).expect("step");
+        let tbt = eval.decode_interval(batch, seq).expect("decode evaluates");
+        let achieved = step.flops_per_device.get() / step.total.get() / 1e12;
+        let die = area_model.estimate(arch).total();
+        println!(
+            "{label:<28} | {:>9.0} | {:>10.2} | {:>10.2} | {:>12.1}",
+            die.as_mm2(),
+            ttft.as_millis(),
+            tbt.as_millis(),
+            achieved,
+        );
+    }
+
+    println!(
+        "\nReading the frontier: MT-heavy designs win TBT (user axis), \
+         SA-heavy designs win TTFT/throughput (vendor axis); the balanced \
+         HDA sits at the paper's 'optimal point for GenAI serving'."
+    );
+
+    // Power at typical operating points (the Fig. 9 power-budget input).
+    println!("\n=== power at typical operating points ===");
+    let power_model = ador::hw::PowerModel::default();
+    for (label, arch) in &designs {
+        let decode = power_model.estimate(arch, ador::hw::OperatingPoint::decode_typical());
+        let prefill = power_model.estimate(arch, ador::hw::OperatingPoint::prefill_typical());
+        println!(
+            "{label:<28} | decode {:>6} | prefill {:>6}",
+            decode.total(),
+            prefill.total()
+        );
+    }
+
+    // The search's own Pareto frontier over its candidate log.
+    println!("\n=== search-derived Pareto frontier (area vs TTFT vs TBT) ===");
+    let input = ador::search::SearchInput {
+        vendor: ador::search::VendorConstraints::a100_class(),
+        user: ador::search::UserRequirements::chatbot(),
+        workload: ador::search::Workload::new(model.clone(), batch, seq),
+    };
+    let outcome = ador::search::search(&input).expect("search runs");
+    for p in ador::search::pareto_frontier(&outcome) {
+        println!(
+            "{:<24} | {:>9} | TTFT {:>10} | TBT {:>10}",
+            p.candidate, p.area, p.ttft, p.tbt
+        );
+    }
+}

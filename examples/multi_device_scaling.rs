@@ -1,0 +1,77 @@
+//! Multi-device scaling explorer (paper Fig. 7 / Fig. 13).
+//!
+//! For LLaMA3-70B on ADOR devices: compares tensor-parallel sync
+//! strategies as the device count grows, then sweeps the P2P link
+//! bandwidth for prefill / decode / continuous-batching mixes — showing
+//! the paper's two headline claims: all-gather scales past Megatron at
+//! ≥4 devices, and ~32 GB/s of P2P is already enough for decode.
+//!
+//! Run with: `cargo run --release --example multi_device_scaling`
+
+use ador::model::presets;
+use ador::noc::{P2pLink, SyncStrategy};
+use ador::parallel::{p2p_sweep, tp_sweep, BlockWorkload, WorkloadMix};
+use ador::perf::{Deployment, Evaluator};
+use ador::units::{Bandwidth, Bytes, Seconds};
+
+/// Derives per-block workloads (compute window + sync message) from the
+/// performance model, so the scaling curves use real numbers.
+fn blocks() -> (BlockWorkload, BlockWorkload) {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_70b();
+    let eval = Evaluator::new(&arch, &model, Deployment::tensor_parallel(8))
+        .expect("70B fits on 8 devices");
+
+    let batch = 32;
+    let seq = 1024;
+    // One layer has two Megatron-fusable blocks; compute window at TP=1 is
+    // approximated as 8x the per-device step share.
+    let decode_step = eval.step(ador::model::Phase::decode(batch, seq)).expect("decode");
+    let prefill_step = eval.step(ador::model::Phase::prefill(1, seq)).expect("prefill");
+    let layers = model.layers as f64;
+    let msg_decode = Bytes::new((batch * model.hidden) as u64 * 2);
+    let msg_prefill = Bytes::new((seq * model.hidden) as u64 * 2);
+    let window = |total: Seconds| Seconds::new(total.get() * 8.0 / layers / 2.0);
+    (
+        BlockWorkload::new(window(prefill_step.ops_time), msg_prefill),
+        BlockWorkload::new(window(decode_step.ops_time), msg_decode),
+    )
+}
+
+fn main() {
+    let (prefill, decode) = blocks();
+    let devices = [1usize, 2, 4, 8, 16];
+
+    println!("=== Fig. 13a: TP strategy scalability (decode blocks, 128 GB/s P2P) ===");
+    println!("{:>8} | {:>10} | {:>10} | {:>10}", "devices", "all-gather", "all-reduce", "megatron");
+    let link = P2pLink::new(Bandwidth::from_gbps(128.0));
+    let curves: Vec<Vec<f64>> = SyncStrategy::all()
+        .iter()
+        .map(|&s| tp_sweep(decode, s, link, &devices).into_iter().map(|p| p.speedup).collect())
+        .collect();
+    for (i, &n) in devices.iter().enumerate() {
+        println!(
+            "{n:>8} | {:>10.2} | {:>10.2} | {:>10.2}",
+            curves[0][i], curves[1][i], curves[2][i]
+        );
+    }
+
+    println!("\n=== Fig. 13b: speedup at TP=8 vs P2P bandwidth ===");
+    let bandwidths = [16.0, 32.0, 64.0, 128.0];
+    println!("{:>12} | {:>8} | {:>8} | {:>11}", "P2P (GB/s)", "prefill", "decode", "continuous");
+    let sweeps: Vec<Vec<(f64, f64)>> = [WorkloadMix::Prefill, WorkloadMix::Decode, WorkloadMix::Continuous]
+        .iter()
+        .map(|&mix| p2p_sweep(prefill, decode, mix, 8, &bandwidths))
+        .collect();
+    for (i, &bw) in bandwidths.iter().enumerate() {
+        println!(
+            "{bw:>12.0} | {:>8.2} | {:>8.2} | {:>11.2}",
+            sweeps[0][i].1, sweeps[1][i].1, sweeps[2][i].1
+        );
+    }
+
+    println!(
+        "\nPaper checkpoints: Megatron ahead at 2 devices, all-gather ahead \
+         from 4; decode speedup nearly saturated by 32 GB/s (PCIe-4 x16)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: run the ADOR search end-to-end.
+//!
+//! Mirrors the paper's Fig. 9 flow — vendor constraints + user SLA +
+//! workload in, proposed architecture + predicted QoS out — then compares
+//! the proposal head-to-head with an NVIDIA A100 at the same operating
+//! point (the Table III / Fig. 15 experiment in miniature).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ador::prelude::*;
+
+fn main() -> Result<(), AdorError> {
+    // The workload a vendor wants to serve: LLaMA3-8B chatbot traffic at
+    // batch 128 with 1 K contexts.
+    let session = Ador::new(presets::llama3_8b()).batch(128).seq_len(1024);
+
+    // Step 1-4 of the paper's search: propose the smallest-area HDA that
+    // meets the chatbot SLA under A100-class constraints.
+    let outcome = session.explore()?;
+    println!("=== ADOR proposal ===");
+    println!("{outcome}");
+    println!("area breakdown: {}", outcome.area);
+    println!("candidates evaluated: {}", outcome.steps.len());
+
+    // Head-to-head with the A100 (paper: 2.36x TBT at batch 150, ~1.9x
+    // TTFT, 4x area efficiency).
+    let a100 = baselines::a100();
+    let cmp = session.compare(&outcome.architecture, &a100)?;
+    println!("\n=== vs. NVIDIA A100 at batch 128 / seq 1024 ===");
+    println!("TTFT: {} vs {} ({:.2}x better)", cmp.ttft_a, cmp.ttft_b, cmp.ttft_ratio);
+    println!("TBT : {} vs {} ({:.2}x better)", cmp.tbt_a, cmp.tbt_b, cmp.tbt_ratio);
+
+    let area_ratio = 826.0 / outcome.area.total().as_mm2();
+    println!(
+        "area efficiency (TBT/mm2): {:.2}x better",
+        cmp.tbt_ratio * area_ratio
+    );
+
+    // Validate the proposal in the serving simulator.
+    let report = session.simulate_serving(
+        &outcome.architecture,
+        SimConfig::new(8.0, 128).with_requests(100).with_seed(42),
+        TraceProfile::ultrachat_like(),
+    )?;
+    println!("\n=== serving validation (8 req/s ultrachat-like) ===");
+    println!(
+        "completed {} requests; TTFT p95 {}; TBT p95 {}; {:.1} tok/s",
+        report.completed, report.ttft.p95, report.tbt.p95, report.tokens_per_sec
+    );
+    println!("SLO (relaxed) attained: {}", Slo::relaxed().attained(&report));
+    Ok(())
+}

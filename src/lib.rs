@@ -1,0 +1,15 @@
+//! Umbrella crate for the ADOR framework reproduction.
+//!
+//! Re-exports everything from [`ador_core`]; see that crate (and the
+//! workspace `README.md`) for the full API tour.
+//!
+//! # Examples
+//!
+//! ```
+//! // The umbrella crate exposes the same surface as `ador-core`.
+//! use ador::prelude::*;
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use ador_core::*;

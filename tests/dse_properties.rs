@@ -1,0 +1,94 @@
+//! Property-based tests of the design-space search through the public API.
+
+use ador::model::presets;
+use ador::prelude::*;
+use ador::units::{Area, Seconds};
+use proptest::prelude::*;
+
+fn base_input() -> SearchInput {
+    SearchInput {
+        vendor: VendorConstraints::a100_class(),
+        user: UserRequirements::chatbot(),
+        workload: Workload::new(presets::llama3_8b(), 128, 1024),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Whatever the budget, a successful search result respects it.
+    #[test]
+    fn results_respect_area_budget(budget in 420.0f64..900.0) {
+        let mut input = base_input();
+        input.vendor.area_budget = Area::from_mm2(budget);
+        match ador::search::search(&input) {
+            Ok(outcome) => prop_assert!(
+                outcome.area.total().as_mm2() <= budget + 1e-6,
+                "{} > {budget}", outcome.area.total()
+            ),
+            Err(ador::search::SearchError::NoFeasibleCandidate { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    /// Relaxing the TBT requirement never forces a larger die.
+    #[test]
+    fn relaxing_sla_never_grows_the_die(tbt_ms in 20.0f64..60.0) {
+        let mut strict_in = base_input();
+        strict_in.user.tbt_max = Seconds::from_millis(tbt_ms);
+        let mut relaxed_in = base_input();
+        relaxed_in.user.tbt_max = Seconds::from_millis(tbt_ms * 1.5);
+        let (Ok(strict), Ok(relaxed)) =
+            (ador::search::search(&strict_in), ador::search::search(&relaxed_in))
+        else {
+            return Ok(());
+        };
+        if strict.satisfied && relaxed.satisfied {
+            prop_assert!(relaxed.area.total() <= strict.area.total());
+        }
+    }
+
+    /// Every reported candidate step stayed within the budget.
+    #[test]
+    fn candidate_log_is_feasible(budget in 500.0f64..850.0) {
+        let mut input = base_input();
+        input.vendor.area_budget = Area::from_mm2(budget);
+        if let Ok(outcome) = ador::search::search(&input) {
+            for step in &outcome.steps {
+                prop_assert!(step.area.as_mm2() <= budget + 1e-6);
+            }
+        }
+    }
+}
+
+/// Shrinking the budget below any feasible configuration yields the typed
+/// error, not a bogus design.
+#[test]
+fn hopeless_budget_is_an_error() {
+    let mut input = base_input();
+    input.vendor.area_budget = Area::from_mm2(250.0); // below system+PHY floor
+    let err = ador::search::search(&input).unwrap_err();
+    assert!(matches!(err, ador::search::SearchError::NoFeasibleCandidate { .. }));
+}
+
+/// An unsatisfiable SLA still returns the best effort plus feedback notes
+/// (the paper's "propose along with the additional specs needed" path).
+#[test]
+fn feedback_path_engages() {
+    let mut input = base_input();
+    input.user.ttft_max = Seconds::from_micros(50.0);
+    let outcome = ador::search::search(&input).unwrap();
+    assert!(!outcome.satisfied);
+    assert!(outcome.notes.iter().any(|n| n.contains("TTFT")), "{:?}", outcome.notes);
+}
+
+/// The search outcome is reproducible (pure function of its input).
+#[test]
+fn search_is_deterministic() {
+    let input = base_input();
+    let a = ador::search::search(&input).unwrap();
+    let b = ador::search::search(&input).unwrap();
+    assert_eq!(a.architecture, b.architecture);
+    assert_eq!(a.ttft, b.ttft);
+    assert_eq!(a.tbt, b.tbt);
+}

@@ -1,0 +1,133 @@
+//! Grid and property tests across the whole model zoo and baseline
+//! registry — the "does every combination behave" safety net.
+
+use ador::baselines;
+use ador::hw::{OperatingPoint, PowerModel, Roofline, RooflineBound};
+use ador::model::workload::StepSummary;
+use ador::model::{presets, DataType, Phase};
+use ador::perf::{Deployment, Evaluator};
+use proptest::prelude::*;
+
+/// Every preset model evaluates on every baseline that can hold it, for
+/// both phases, with sane outputs.
+#[test]
+fn zoo_times_registry_grid() {
+    let mut evaluated = 0;
+    for model in presets::all() {
+        for arch in baselines::registry() {
+            let devices = if arch.dram.capacity < model.weight_bytes() {
+                let per = (model.weight_bytes().get() as f64 / arch.dram.capacity.get() as f64)
+                    .ceil() as usize;
+                per.next_power_of_two()
+            } else {
+                1
+            };
+            if devices > 1024 {
+                continue;
+            }
+            let deployment = if devices == 1 {
+                Deployment::single_device()
+            } else {
+                Deployment::tensor_parallel(devices)
+            };
+            let Ok(eval) = Evaluator::new(&arch, &model, deployment) else { continue };
+            let Ok(decode) = eval.decode_interval(4, 256) else { continue };
+            // A long-enough prompt always out-costs one decode step; short
+            // prompts can legitimately undercut a full weight stream on
+            // compute-rich GPUs.
+            let Ok(prefill) = eval.ttft(1, 2048.min(model.max_seq_len)) else { continue };
+            assert!(decode.get() > 0.0 && decode.get() < 10.0, "{}/{}: {decode}", arch.name, model.name);
+            assert!(prefill > decode, "{}/{}", arch.name, model.name);
+            evaluated += 1;
+        }
+    }
+    // 15 models × 7 baselines, minus the combinations that genuinely don't
+    // fit — the grid must still be broadly covered.
+    assert!(evaluated >= 70, "only {evaluated} combinations evaluated");
+}
+
+/// Quantizing weights to int8 halves weight bytes and the decode weight
+/// stream everywhere.
+#[test]
+fn int8_halves_weight_traffic() {
+    for mut model in [presets::llama3_8b(), presets::falcon_7b(), presets::qwen2_7b()] {
+        let fp16 = model.weight_bytes();
+        let fp16_stream = StepSummary::compute(&model, Phase::decode(8, 512)).weight_bytes;
+        model.dtype = DataType::I8;
+        let int8 = model.weight_bytes();
+        let int8_stream = StepSummary::compute(&model, Phase::decode(8, 512)).weight_bytes;
+        assert_eq!(int8.get() * 2, fp16.get(), "{}", model.name);
+        assert_eq!(int8_stream.get() * 2, fp16_stream.get(), "{}", model.name);
+    }
+}
+
+/// Roofline classification agrees with the evaluator's memory/compute
+/// balance: decode (low intensity) is bandwidth-bound on every baseline.
+#[test]
+fn decode_sits_left_of_the_ridge() {
+    let model = presets::llama3_8b();
+    let summary = StepSummary::compute(&model, Phase::decode(1, 512));
+    let intensity = summary.arithmetic_intensity();
+    for arch in baselines::registry() {
+        if arch.dram.capacity < model.weight_bytes() {
+            continue; // TSP-style SRAM parts have a very different roofline
+        }
+        let roofline = Roofline::of(&arch);
+        assert_eq!(
+            roofline.bound(intensity),
+            RooflineBound::Bandwidth,
+            "{}: intensity {intensity:.1} vs ridge {:.1}",
+            arch.name,
+            roofline.ridge()
+        );
+    }
+}
+
+/// Power model: every synthesized design stays within a 2x A100 envelope at
+/// peak, and decode points draw less than prefill points.
+#[test]
+fn power_envelopes_hold_across_designs() {
+    let model = PowerModel::default();
+    for arch in [baselines::ador_table3(), baselines::llmcompass_l(), baselines::llmcompass_t()] {
+        let peak = model.estimate(&arch, OperatingPoint::peak()).total();
+        assert!(peak.as_watts() < 800.0, "{}: {peak}", arch.name);
+        let decode = model.estimate(&arch, OperatingPoint::decode_typical()).total();
+        let prefill = model.estimate(&arch, OperatingPoint::prefill_typical()).total();
+        assert!(decode < prefill, "{}", arch.name);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// KV-cache sizing is exactly linear in batch and context for every
+    /// preset.
+    #[test]
+    fn kv_cache_linear(idx in 0usize..15, b in 1usize..64, ctx in 1usize..4096) {
+        let model = &presets::all()[idx];
+        let one = model.kv_cache_bytes(1, 1).get();
+        prop_assert_eq!(model.kv_cache_bytes(b, ctx).get(), one * (b * ctx) as u64);
+    }
+
+    /// Decode step FLOPs grow linearly-ish in batch (within 2 % after the
+    /// shared-weight terms are accounted).
+    #[test]
+    fn decode_flops_scale_with_batch(idx in 0usize..15, b in 1usize..64) {
+        let model = &presets::all()[idx];
+        let f1 = StepSummary::compute(model, Phase::decode(b, 256)).flops.get();
+        let f2 = StepSummary::compute(model, Phase::decode(2 * b, 256)).flops.get();
+        let ratio = f2 / f1;
+        prop_assert!((1.9..2.1).contains(&ratio), "{}: {ratio}", model.name);
+    }
+
+    /// The attention share of any model at any context stays a valid
+    /// fraction, and MQA models have the lowest KV read share.
+    #[test]
+    fn workload_fractions_valid(idx in 0usize..15, ctx in 64usize..16384) {
+        let model = &presets::all()[idx];
+        let share = ador::model::workload::attention_op_share(model, ctx);
+        prop_assert!((0.0..=1.0).contains(&share));
+        let kv = ador::model::workload::kv_read_share(model, 16, ctx);
+        prop_assert!((0.0..=1.0).contains(&kv));
+    }
+}
