@@ -30,7 +30,10 @@ pub fn a100() -> Architecture {
         .cores(108)
         .peak_flops_override(FlopRate::from_tflops(312.0))
         .die_area_override(Area::from_mm2(826.0))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .p2p_bandwidth(Bandwidth::from_gbps(600.0))
         .frequency(Frequency::from_mhz(1410.0))
         .process(ProcessNode::N7)
@@ -46,7 +49,10 @@ pub fn h100() -> Architecture {
         .cores(132)
         .peak_flops_override(FlopRate::from_tflops(1000.0))
         .die_area_override(Area::from_mm2(814.0))
-        .dram(DramSpec::hbm3(Bytes::from_gib(80), Bandwidth::from_gbps(3350.0)))
+        .dram(DramSpec::hbm3(
+            Bytes::from_gib(80),
+            Bandwidth::from_gbps(3350.0),
+        ))
         .p2p_bandwidth(Bandwidth::from_gbps(900.0))
         .frequency(Frequency::from_mhz(1593.0))
         .process(ProcessNode::N4)
@@ -65,7 +71,10 @@ pub fn tpuv4() -> Architecture {
         .local_memory(Bytes::from_mib(16))
         .global_memory(Bytes::from_mib(32))
         .die_area_override(Area::from_mm2(400.0))
-        .dram(DramSpec::hbm2(Bytes::from_gib(32), Bandwidth::from_gbps(1200.0)))
+        .dram(DramSpec::hbm2(
+            Bytes::from_gib(32),
+            Bandwidth::from_gbps(1200.0),
+        ))
         .p2p_bandwidth(Bandwidth::from_gbps(200.0))
         .frequency(Frequency::from_mhz(1050.0))
         .process(ProcessNode::N7)
@@ -111,7 +120,10 @@ pub fn llmcompass_l() -> Architecture {
         .sa_per_core(4)
         .local_memory(Bytes::from_kib(192))
         .global_memory(Bytes::from_mib(24))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .p2p_bandwidth(Bandwidth::from_gbps(600.0))
         .frequency(Frequency::from_mhz(1500.0))
         .process(ProcessNode::N7)
@@ -150,7 +162,10 @@ pub fn ador_table3() -> Architecture {
         .mac_tree(MacTree::new(16, 16))
         .local_memory(Bytes::from_kib(2048))
         .global_memory(Bytes::from_mib(16))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .noc_bandwidth(Bandwidth::from_gbps(256.0))
         .p2p_bandwidth(Bandwidth::from_gbps(64.0))
         .frequency(Frequency::from_mhz(1500.0))
@@ -182,7 +197,9 @@ pub fn registry() -> Vec<Architecture> {
 /// ```
 pub fn by_name(name: &str) -> Option<Architecture> {
     let needle = name.to_ascii_lowercase();
-    registry().into_iter().find(|a| a.name.to_ascii_lowercase() == needle)
+    registry()
+        .into_iter()
+        .find(|a| a.name.to_ascii_lowercase() == needle)
 }
 
 #[cfg(test)]
@@ -216,9 +233,17 @@ mod tests {
     #[test]
     fn table3_die_areas_match() {
         let model = AreaModel::default();
-        for (arch, expect) in [(llmcompass_l(), 478.0), (llmcompass_t(), 787.0), (ador_table3(), 516.0)] {
+        for (arch, expect) in [
+            (llmcompass_l(), 478.0),
+            (llmcompass_t(), 787.0),
+            (ador_table3(), 516.0),
+        ] {
             let got = model.estimate(&arch).total().as_mm2();
-            assert!((got - expect).abs() / expect < 0.01, "{}: {got:.1}", arch.name);
+            assert!(
+                (got - expect).abs() / expect < 0.01,
+                "{}: {got:.1}",
+                arch.name
+            );
         }
     }
 

@@ -18,7 +18,11 @@ fn main() {
     let mut rows = Vec::new();
     for (label, law) in variants {
         let mut arch = baselines::ador_table3();
-        arch.profile = PerfProfile { weight_stream: law, attention_stream: law, ..arch.profile };
+        arch.profile = PerfProfile {
+            weight_stream: law,
+            attention_stream: law,
+            ..arch.profile
+        };
         let eval = Evaluator::new(&arch, &model, Deployment::single_device()).expect("fits");
         let tbt1 = eval.decode_interval(1, 1024).expect("decode");
         let tbt64 = eval.decode_interval(64, 1024).expect("decode");
@@ -50,6 +54,9 @@ fn main() {
     claim(
         "ablation large batches converge",
         "at high op counts the law saturates at 90%, so laws differ less",
-        &format!("batch-64 spread: {} vs {} vs {} ms", rows[0][2], rows[1][2], rows[2][2]),
+        &format!(
+            "batch-64 spread: {} vs {} vs {} ms",
+            rows[0][2], rows[1][2], rows[2][2]
+        ),
     );
 }

@@ -4,7 +4,7 @@
 use ador_bench::{claim, table};
 use ador_core::hw::memory::DramSpec;
 use ador_core::hw::{Architecture, MacTree, SystolicArray};
-use ador_core::model::{presets, Phase};
+use ador_core::model::presets;
 use ador_core::perf::{Deployment, Evaluator};
 use ador_core::units::{Bandwidth, Bytes, Frequency};
 
@@ -13,7 +13,10 @@ fn build(name: &str, sa: Option<usize>, mt: Option<(usize, usize)>) -> Architect
         .cores(32)
         .local_memory(Bytes::from_kib(2048))
         .global_memory(Bytes::from_mib(16))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .frequency(Frequency::from_mhz(1500.0));
     if let Some(dim) = sa {
         b = b.systolic_array(SystolicArray::square(dim));

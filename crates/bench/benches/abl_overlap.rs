@@ -2,7 +2,6 @@
 //! motivation) for multi-device decode.
 
 use ador_bench::{claim, table};
-use ador_core::model::presets;
 use ador_core::noc::{P2pLink, SyncStrategy};
 use ador_core::parallel::{BlockWorkload, TensorParallel};
 use ador_core::units::{Bandwidth, Bytes, Seconds};

@@ -10,7 +10,9 @@ use ador_core::serving::{ServingSim, SimConfig, TraceProfile};
 fn run(prefill_chunk: usize, max_batch: usize) -> ador_core::serving::QosReport {
     let arch = baselines::ador_table3();
     let model = presets::llama3_8b();
-    let mut cfg = SimConfig::new(10.0, max_batch).with_requests(120).with_seed(23);
+    let mut cfg = SimConfig::new(10.0, max_batch)
+        .with_requests(120)
+        .with_seed(23);
     cfg.prefill_chunk = prefill_chunk;
     ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
         .expect("sim builds")
@@ -55,7 +57,13 @@ fn main() {
     }
     table(
         "Ablation: batch cap (10 req/s, chunk 4096)",
-        &["max batch", "TTFT p95 (ms)", "TBT p95 (ms)", "tok/s", "mean batch"],
+        &[
+            "max batch",
+            "TTFT p95 (ms)",
+            "TBT p95 (ms)",
+            "tok/s",
+            "mean batch",
+        ],
         &rows,
     );
     claim(

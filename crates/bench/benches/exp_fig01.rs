@@ -10,8 +10,9 @@ fn qos_vs_batch() {
     let model = presets::mixtral_8x7b();
     let a100 = baselines::a100();
     // 8x A100 with NVLink-class links, as in the figure's caption.
-    let deployment = Deployment::tensor_parallel(8)
-        .with_link(ador_core::noc::P2pLink::new(ador_core::units::Bandwidth::from_gbps(600.0)));
+    let deployment = Deployment::tensor_parallel(8).with_link(ador_core::noc::P2pLink::new(
+        ador_core::units::Bandwidth::from_gbps(600.0),
+    ));
     let eval = Evaluator::new(&a100, &model, deployment).expect("mixtral fits 8 devices");
 
     let mut rows = Vec::new();
@@ -49,7 +50,10 @@ fn design_space_scatter() {
     let model = presets::llama3_8b();
     let mut rows = Vec::new();
     for (arch, devices) in [
-        (baselines::groq_tsp(), baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two()),
+        (
+            baselines::groq_tsp(),
+            baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two(),
+        ),
         (baselines::h100(), 1),
         (baselines::ador_table3(), 1),
     ] {
@@ -71,7 +75,12 @@ fn design_space_scatter() {
     }
     table(
         "Fig 1 (bottom): design space at batch 64 (LLaMA3 8B)",
-        &["design", "devices", "query latency (ms/token)", "throughput (token/s/device)"],
+        &[
+            "design",
+            "devices",
+            "query latency (ms/token)",
+            "throughput (token/s/device)",
+        ],
         &rows,
     );
     claim(

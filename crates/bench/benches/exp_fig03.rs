@@ -5,14 +5,21 @@ use ador_bench::{claim, table};
 use ador_core::model::{presets, workload};
 
 fn fig3a() {
-    let models =
-        [presets::qwen2_7b(), presets::llama3_8b(), presets::gemma2_9b(), presets::mixtral_8x7b()];
+    let models = [
+        presets::qwen2_7b(),
+        presets::llama3_8b(),
+        presets::gemma2_9b(),
+        presets::mixtral_8x7b(),
+    ];
     let batches = [1usize, 16, 64, 128];
     let mut rows = Vec::new();
     for m in &models {
         let mut row = vec![m.name.clone()];
         for &b in &batches {
-            row.push(format!("{:.1}%", 100.0 * workload::kv_read_share(m, b, 8192)));
+            row.push(format!(
+                "{:.1}%",
+                100.0 * workload::kv_read_share(m, b, 8192)
+            ));
         }
         rows.push(row);
     }

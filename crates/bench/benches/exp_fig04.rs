@@ -18,7 +18,10 @@ fn fig4a() {
         (baselines::a100(), 1usize),
         (baselines::h100(), 1),
         (baselines::tpuv4(), 1),
-        (baselines::groq_tsp(), baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two()),
+        (
+            baselines::groq_tsp(),
+            baselines::tsp_devices_for(model.weight_bytes()).next_power_of_two(),
+        ),
         (baselines::ador_table3(), 1),
     ] {
         let deployment = if devices == 1 {
@@ -26,13 +29,19 @@ fn fig4a() {
         } else {
             Deployment::tensor_parallel(devices)
         };
-        let Ok(eval) = Evaluator::new(&arch, &model, deployment) else { continue };
-        let step = eval.step(ador_core::model::Phase::prefill(1, 1024)).expect("prefill");
+        let Ok(eval) = Evaluator::new(&arch, &model, deployment) else {
+            continue;
+        };
+        let step = eval
+            .step(ador_core::model::Phase::prefill(1, 1024))
+            .expect("prefill");
         // Achieved FLOPS across the deployment over the total silicon.
         let achieved_gflops = step.flops_per_device.get() * devices as f64 / step.total.get() / 1e9;
         let die = area_model.estimate(&arch).total().as_mm2() * devices as f64;
-        let die_4nm =
-            area_model.estimate_normalized(&arch, ProcessNode::N4).as_mm2() * devices as f64;
+        let die_4nm = area_model
+            .estimate_normalized(&arch, ProcessNode::N4)
+            .as_mm2()
+            * devices as f64;
         let absolute = achieved_gflops / die;
         let normalized = achieved_gflops / die_4nm;
         if arch.name.contains("A100") {
@@ -51,7 +60,13 @@ fn fig4a() {
     }
     table(
         "Fig 4a: area efficiency, LLaMA3 8B prefill (achieved GFLOPS/mm2)",
-        &["device", "chips", "process", "absolute", "normalized to 4nm"],
+        &[
+            "device",
+            "chips",
+            "process",
+            "absolute",
+            "normalized to 4nm",
+        ],
         &rows,
     );
     claim(
@@ -67,15 +82,26 @@ fn fig4a() {
 }
 
 fn fig4b() {
-    let models =
-        [presets::gptj_6b(), presets::llama2_7b(), presets::llama3_8b(), presets::mistral_7b()];
-    let archs = [baselines::a100(), baselines::h100(), baselines::tpuv4(), baselines::ador_table3()];
+    let models = [
+        presets::gptj_6b(),
+        presets::llama2_7b(),
+        presets::llama3_8b(),
+        presets::mistral_7b(),
+    ];
+    let archs = [
+        baselines::a100(),
+        baselines::h100(),
+        baselines::tpuv4(),
+        baselines::ador_table3(),
+    ];
     let mut rows = Vec::new();
     for arch in &archs {
         let mut row = vec![arch.name.clone()];
         for m in &models {
             let eval = Evaluator::new(arch, m, Deployment::single_device()).expect("fits");
-            let step = eval.step(ador_core::model::Phase::decode(16, 512)).expect("decode");
+            let step = eval
+                .step(ador_core::model::Phase::decode(16, 512))
+                .expect("decode");
             let util = step.dram_utilization(arch.dram.bandwidth);
             let effective = arch.dram.bandwidth.as_tbps() * util.get();
             row.push(format!("{effective:.2} ({util})"));

@@ -39,7 +39,13 @@ fn main() {
     }
     table(
         "Fig 10: effective bandwidth vs ops/device (460 GB/s HBM2 spec)",
-        &["model", "devices", "ops/device", "utilization", "effective GB/s"],
+        &[
+            "model",
+            "devices",
+            "ops/device",
+            "utilization",
+            "effective GB/s",
+        ],
         &rows,
     );
 
@@ -53,7 +59,11 @@ fn main() {
             format!("{:.0}", law.effective(u55c, ops).as_gbps()),
         ]);
     }
-    table("Fig 10 trend line", &["ops", "utilization", "effective GB/s"], &trend);
+    table(
+        "Fig 10 trend line",
+        &["ops", "utilization", "effective GB/s"],
+        &trend,
+    );
 
     claim(
         "fig10 logarithmic law",

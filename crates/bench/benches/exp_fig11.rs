@@ -19,7 +19,10 @@ fn build(sa_dim: usize, cores: usize, mt: Option<MacTree>) -> Architecture {
         .systolic_array(SystolicArray::square(sa_dim))
         .local_memory(Bytes::from_kib(local_kib))
         .global_memory(Bytes::from_mib(16))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .frequency(Frequency::from_mhz(1500.0));
     if let Some(mt) = mt {
         b = b.mac_tree(mt);
@@ -46,21 +49,31 @@ fn fig11a() {
 
     let mut rows = Vec::new();
     for (dim, cores) in configs {
-        rows.push(breakdown_row(&build(dim, cores, Some(mt)), Phase::prefill(1, 1024)));
+        rows.push(breakdown_row(
+            &build(dim, cores, Some(mt)),
+            Phase::prefill(1, 1024),
+        ));
     }
     table(
         "Fig 11a (prefill): LLaMA3 8B, seq 1024, iso-MAC SA sweep (ms)",
-        &["config", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total"],
+        &[
+            "config", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total",
+        ],
         &rows,
     );
 
     let mut rows = Vec::new();
     for (dim, cores) in configs {
-        rows.push(breakdown_row(&build(dim, cores, Some(mt)), Phase::decode(32, 1024)));
+        rows.push(breakdown_row(
+            &build(dim, cores, Some(mt)),
+            Phase::decode(32, 1024),
+        ));
     }
     table(
         "Fig 11a (decode): LLaMA3 8B, batch 32, seq 1024 (ms)",
-        &["config", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total"],
+        &[
+            "config", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total",
+        ],
         &rows,
     );
     claim(
@@ -114,12 +127,18 @@ fn fig11c() {
     let mut rows = Vec::new();
     for arch in [&sa_only, &hda] {
         let mut row = breakdown_row(arch, Phase::decode(32, 1024));
-        row[0] = if arch.mt.is_some() { "SA+MT (HDA)".into() } else { "SA only".into() };
+        row[0] = if arch.mt.is_some() {
+            "SA+MT (HDA)".into()
+        } else {
+            "SA only".into()
+        };
         rows.push(row);
     }
     table(
         "Fig 11c: decode latency breakdown, SA-only vs HDA (LLaMA3 8B, batch 32, ms)",
-        &["design", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total"],
+        &[
+            "design", "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2", "total",
+        ],
         &rows,
     );
     let sa_total: f64 = rows[0][6].parse().unwrap();
@@ -127,7 +146,10 @@ fn fig11c() {
     claim(
         "fig11c HDA gain",
         "adding the MAC tree cuts decode latency (esp. attention) at negligible area",
-        &format!("{sa_total:.2} ms -> {hda_total:.2} ms ({:.2}x)", sa_total / hda_total),
+        &format!(
+            "{sa_total:.2} ms -> {hda_total:.2} ms ({:.2}x)",
+            sa_total / hda_total
+        ),
     );
 }
 

@@ -19,7 +19,11 @@ fn main() {
         &rows,
     );
 
-    let lm_head = usage.iter().find(|(k, _)| *k == LayerKind::LmHead).unwrap().1;
+    let lm_head = usage
+        .iter()
+        .find(|(k, _)| *k == LayerKind::LmHead)
+        .unwrap()
+        .1;
     let rest_max = usage
         .iter()
         .filter(|(k, _)| *k != LayerKind::LmHead)
@@ -34,7 +38,10 @@ fn main() {
     claim(
         "fig12 LM head dominates",
         "LM-Head reaches the 4096 KB axis (vocab-sized logits)",
-        &format!("{:.0} KiB raw; vocab tiling brings the provisioned size down", lm_head.as_kib()),
+        &format!(
+            "{:.0} KiB raw; vocab tiling brings the provisioned size down",
+            lm_head.as_kib()
+        ),
     );
     claim(
         "fig12 sizing rule",

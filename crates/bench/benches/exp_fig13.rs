@@ -21,8 +21,14 @@ fn blocks() -> (BlockWorkload, BlockWorkload) {
     let decode = eval.step(Phase::decode(batch, seq)).expect("decode");
     let prefill = eval.step(Phase::prefill(1, seq)).expect("prefill");
     (
-        BlockWorkload::new(window(prefill.ops_time), Bytes::new((seq * model.hidden * 2) as u64)),
-        BlockWorkload::new(window(decode.ops_time), Bytes::new((batch * model.hidden * 2) as u64)),
+        BlockWorkload::new(
+            window(prefill.ops_time),
+            Bytes::new((seq * model.hidden * 2) as u64),
+        ),
+        BlockWorkload::new(
+            window(decode.ops_time),
+            Bytes::new((batch * model.hidden * 2) as u64),
+        ),
     )
 }
 
@@ -31,7 +37,15 @@ fn fig13a(decode: BlockWorkload) {
     let devices = [1usize, 2, 4, 8, 16];
     let curves: Vec<(SyncStrategy, Vec<f64>)> = SyncStrategy::all()
         .iter()
-        .map(|&s| (s, tp_sweep(decode, s, link, &devices).into_iter().map(|p| p.speedup).collect()))
+        .map(|&s| {
+            (
+                s,
+                tp_sweep(decode, s, link, &devices)
+                    .into_iter()
+                    .map(|p| p.speedup)
+                    .collect(),
+            )
+        })
         .collect();
 
     let mut rows = Vec::new();
@@ -60,10 +74,15 @@ fn fig13a(decode: BlockWorkload) {
 
 fn fig13b(prefill: BlockWorkload, decode: BlockWorkload) {
     let bandwidths = [16.0, 32.0, 64.0, 128.0];
-    let mixes =
-        [("prefill", WorkloadMix::Prefill), ("decoding", WorkloadMix::Decode), ("continuous 3:1", WorkloadMix::Continuous)];
-    let sweeps: Vec<Vec<(f64, f64)>> =
-        mixes.iter().map(|(_, m)| p2p_sweep(prefill, decode, *m, 8, &bandwidths)).collect();
+    let mixes = [
+        ("prefill", WorkloadMix::Prefill),
+        ("decoding", WorkloadMix::Decode),
+        ("continuous 3:1", WorkloadMix::Continuous),
+    ];
+    let sweeps: Vec<Vec<(f64, f64)>> = mixes
+        .iter()
+        .map(|(_, m)| p2p_sweep(prefill, decode, *m, 8, &bandwidths))
+        .collect();
 
     let mut rows = Vec::new();
     for (i, &bw) in bandwidths.iter().enumerate() {
@@ -84,7 +103,10 @@ fn fig13b(prefill: BlockWorkload, decode: BlockWorkload) {
     claim(
         "fig13b 32 GB/s suffices for decode",
         "PCIe-4 x16-class bandwidth overlaps decode communication",
-        &format!("decode speedup at 32 GB/s is {:.0}% of the 128 GB/s value", 100.0 * decode32 / decode128),
+        &format!(
+            "decode speedup at 32 GB/s is {:.0}% of the 128 GB/s value",
+            100.0 * decode32 / decode128
+        ),
     );
     claim(
         "fig13b decode overlaps best",

@@ -11,7 +11,12 @@ use ador_core::perf::{Deployment, Evaluator};
 const BATCHES: [usize; 4] = [16, 64, 128, 150];
 
 fn archs() -> [Architecture; 4] {
-    [baselines::a100(), baselines::llmcompass_l(), baselines::llmcompass_t(), baselines::ador_table3()]
+    [
+        baselines::a100(),
+        baselines::llmcompass_l(),
+        baselines::llmcompass_t(),
+        baselines::ador_table3(),
+    ]
 }
 
 fn panel(model: &ModelConfig, deployment: Deployment, label: &str) -> (f64, f64) {
@@ -56,8 +61,11 @@ fn main() {
     let area_ratio = area_model.estimate(&baselines::a100()).total()
         / area_model.estimate(&baselines::ador_table3()).total();
 
-    let (tbt_gap_8b, ttft_gap_8b) =
-        panel(&ador_core::model::presets::llama3_8b(), Deployment::single_device(), "(a) LLaMA3 8B, 1 device");
+    let (tbt_gap_8b, ttft_gap_8b) = panel(
+        &ador_core::model::presets::llama3_8b(),
+        Deployment::single_device(),
+        "(a) LLaMA3 8B, 1 device",
+    );
     claim(
         "fig15a TBT at batch 150",
         "ADOR achieves 2.36x higher TBT than the A100",
@@ -73,12 +81,18 @@ fn main() {
         ),
     );
 
-    let (tbt_gap_70b, _) =
-        panel(&ador_core::model::presets::llama3_70b(), Deployment::tensor_parallel(8), "(b) LLaMA3 70B, 8 devices");
+    let (tbt_gap_70b, _) = panel(
+        &ador_core::model::presets::llama3_70b(),
+        Deployment::tensor_parallel(8),
+        "(b) LLaMA3 70B, 8 devices",
+    );
     claim(
         "fig15b TBT at batch 150",
         "2.51x better TBT, 4.01x area efficiency",
-        &format!("{tbt_gap_70b:.2}x TBT, {:.2}x area efficiency", tbt_gap_70b * area_ratio),
+        &format!(
+            "{tbt_gap_70b:.2}x TBT, {:.2}x area efficiency",
+            tbt_gap_70b * area_ratio
+        ),
     );
     claim(
         "fig15 balanced design",

@@ -35,7 +35,11 @@ fn capacity(model: &ModelConfig, deployment: Deployment, tbt_ms: f64) -> f64 {
 
 fn main() {
     let configs = [
-        ("LLaMA3 8B", presets::llama3_8b(), Deployment::single_device()),
+        (
+            "LLaMA3 8B",
+            presets::llama3_8b(),
+            Deployment::single_device(),
+        ),
         ("Yi 34B", presets::yi_34b(), Deployment::tensor_parallel(2)),
     ];
 
@@ -51,7 +55,12 @@ fn main() {
     }
     table(
         "Fig 16: max capacity under TBT SLO (req/s, ultrachat-like trace)",
-        &["model", "devices", "strict SLO (25 ms)", "relaxed SLO (50 ms)"],
+        &[
+            "model",
+            "devices",
+            "strict SLO (25 ms)",
+            "relaxed SLO (50 ms)",
+        ],
         &rows,
     );
 
@@ -60,7 +69,10 @@ fn main() {
     for tbt in [10.0f64, 20.0, 30.0, 40.0, 50.0] {
         curve.push(vec![
             format!("{tbt:.0}"),
-            format!("{:.1}", capacity(&presets::llama3_8b(), Deployment::single_device(), tbt)),
+            format!(
+                "{:.1}",
+                capacity(&presets::llama3_8b(), Deployment::single_device(), tbt)
+            ),
         ]);
     }
     table(

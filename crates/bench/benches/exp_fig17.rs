@@ -35,11 +35,20 @@ fn main() {
         tbt_rows.push(tbt_row);
     }
 
-    let header: Vec<String> =
-        std::iter::once("input \\ output".to_string()).chain(OUTPUTS.iter().map(|o| o.to_string())).collect();
+    let header: Vec<String> = std::iter::once("input \\ output".to_string())
+        .chain(OUTPUTS.iter().map(|o| o.to_string()))
+        .collect();
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    table("Fig 17: TTFT p50 (ms) by input x output length", &header_refs, &ttft_rows);
-    table("Fig 17: TBT p50 (token/s) by input x output length", &header_refs, &tbt_rows);
+    table(
+        "Fig 17: TTFT p50 (ms) by input x output length",
+        &header_refs,
+        &ttft_rows,
+    );
+    table(
+        "Fig 17: TBT p50 (token/s) by input x output length",
+        &header_refs,
+        &tbt_rows,
+    );
 
     // Degradation factors, as the paper reports them.
     let tbt_short: f64 = tbt_rows[0][2].parse().unwrap(); // input 128, output 16
@@ -49,12 +58,18 @@ fn main() {
     claim(
         "fig17 TBT degradation with output length",
         "processing slows only ~3.87x as outputs stretch 1 -> 1024 (prefill/decode overlap)",
-        &format!("{:.2}x (output 16 -> 1024 at input 128)", tbt_short / tbt_long),
+        &format!(
+            "{:.2}x (output 16 -> 1024 at input 128)",
+            tbt_short / tbt_long
+        ),
     );
     claim(
         "fig17 TTFT degradation",
         "only ~3.85x TTFT degradation across the grid, 2.21x better than a GPU",
-        &format!("{:.2}x (output 1 -> 1024 at input 128)", ttft_long / ttft_short),
+        &format!(
+            "{:.2}x (output 1 -> 1024 at input 128)",
+            ttft_long / ttft_short
+        ),
     );
     claim(
         "fig17 TTFT grows with input length",

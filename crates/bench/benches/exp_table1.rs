@@ -18,8 +18,10 @@ fn main() {
             format!("{:.0}", arch.dram.capacity.as_gib()),
             format!("{:.0}", arch.dram.bandwidth.as_gbps()),
             format!("{:.0}", arch.p2p_bandwidth.as_gbps()),
-            arch.tdp.map_or("-".to_string(), |t| format!("{:.0}", t.as_watts())),
-            arch.die_area_override.map_or("-".to_string(), |a| format!("{:.0}", a.as_mm2())),
+            arch.tdp
+                .map_or("-".to_string(), |t| format!("{:.0}", t.as_watts())),
+            arch.die_area_override
+                .map_or("-".to_string(), |a| format!("{:.0}", a.as_mm2())),
         ]);
     }
     table(

@@ -56,8 +56,12 @@ fn main() {
         "larger arrays expose longer diagonal fill",
         &format!(
             "util 16x16 {} -> 128x128 {}",
-            SystolicArray::square(16).gemm_timing(1, 4096, 4096).utilization,
-            SystolicArray::square(128).gemm_timing(1, 4096, 4096).utilization,
+            SystolicArray::square(16)
+                .gemm_timing(1, 4096, 4096)
+                .utilization,
+            SystolicArray::square(128)
+                .gemm_timing(1, 4096, 4096)
+                .utilization,
         ),
     );
 }

@@ -18,7 +18,10 @@ fn spec_row(arch: &Architecture, area_model: &AreaModel) -> Vec<String> {
             }
         })
         .unwrap_or_else(|| "-".into());
-    let mt = arch.mt.map(|m| format!("{}x{}", m.size(), m.lanes())).unwrap_or_else(|| "-".into());
+    let mt = arch
+        .mt
+        .map(|m| format!("{}x{}", m.size(), m.lanes()))
+        .unwrap_or_else(|| "-".into());
     vec![
         arch.name.clone(),
         format!("{:.0}", arch.frequency.as_mhz()),
@@ -56,14 +59,31 @@ fn main() {
         .explore()
         .expect("search succeeds under A100-class constraints");
     let mut searched = spec_row(&outcome.architecture, &area_model);
-    searched[0] = format!("ADOR search ({})", if outcome.satisfied { "meets SLA" } else { "best effort" });
+    searched[0] = format!(
+        "ADOR search ({})",
+        if outcome.satisfied {
+            "meets SLA"
+        } else {
+            "best effort"
+        }
+    );
     rows.push(searched);
 
     table(
         "Table III: specifications (paper columns + our search result)",
         &[
-            "design", "freq (MHz)", "SA", "MT", "cores", "local (KB)", "global (MB)",
-            "DRAM (GB)", "BW (TB/s)", "P2P (GB/s)", "TFLOPS", "die (mm2)",
+            "design",
+            "freq (MHz)",
+            "SA",
+            "MT",
+            "cores",
+            "local (KB)",
+            "global (MB)",
+            "DRAM (GB)",
+            "BW (TB/s)",
+            "P2P (GB/s)",
+            "TFLOPS",
+            "die (mm2)",
         ],
         &rows,
     );

@@ -26,7 +26,14 @@ fn bench_lowering(c: &mut Criterion) {
     let arch = baselines::ador_table3();
     let model = presets::llama3_8b();
     c.bench_function("lower_decode_program", |b| {
-        b.iter(|| lower(&arch, &model, black_box(Phase::decode(32, 512)), Deployment::single_device()))
+        b.iter(|| {
+            lower(
+                &arch,
+                &model,
+                black_box(Phase::decode(32, 512)),
+                Deployment::single_device(),
+            )
+        })
     });
 }
 
@@ -62,5 +69,11 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_evaluator, bench_lowering, bench_serving, bench_search);
+criterion_group!(
+    benches,
+    bench_evaluator,
+    bench_lowering,
+    bench_serving,
+    bench_search
+);
 criterion_main!(benches);

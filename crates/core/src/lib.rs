@@ -212,13 +212,13 @@ impl Ador {
     /// # Errors
     ///
     /// Returns [`AdorError::Perf`] when the model does not fit.
-    pub fn evaluate(
-        &self,
-        arch: &ador_hw::Architecture,
-    ) -> Result<(Seconds, Seconds), AdorError> {
+    pub fn evaluate(&self, arch: &ador_hw::Architecture) -> Result<(Seconds, Seconds), AdorError> {
         let deployment = self.deployment()?;
         let eval = Evaluator::new(arch, &self.model, deployment)?;
-        Ok((eval.ttft(1, self.seq_len)?, eval.decode_interval(self.batch, self.seq_len)?))
+        Ok((
+            eval.ttft(1, self.seq_len)?,
+            eval.decode_interval(self.batch, self.seq_len)?,
+        ))
     }
 
     /// Compares challenger `a` against reference `b` at the operating
@@ -276,7 +276,9 @@ mod tests {
     fn explore_then_compare_beats_a100() {
         let session = Ador::new(presets::llama3_8b()).batch(128).seq_len(1024);
         let outcome = session.explore().unwrap();
-        let cmp = session.compare(&outcome.architecture, &baselines::a100()).unwrap();
+        let cmp = session
+            .compare(&outcome.architecture, &baselines::a100())
+            .unwrap();
         assert!(cmp.tbt_ratio > 1.0, "{cmp:?}");
     }
 

@@ -65,7 +65,8 @@ impl Architecture {
 
     /// Total systolic-array MAC cells on the device.
     pub fn sa_macs(&self) -> usize {
-        self.sa.map_or(0, |sa| sa.macs() * self.sa_per_core * self.cores)
+        self.sa
+            .map_or(0, |sa| sa.macs() * self.sa_per_core * self.cores)
     }
 
     /// Total MAC-tree cells on the device.
@@ -129,10 +130,16 @@ impl Architecture {
             ));
         }
         if self.sa.is_some() && self.sa_per_core == 0 {
-            return Err(format!("architecture '{}' has an SA but sa_per_core = 0", self.name));
+            return Err(format!(
+                "architecture '{}' has an SA but sa_per_core = 0",
+                self.name
+            ));
         }
         if self.dram.bandwidth.is_zero() {
-            return Err(format!("architecture '{}' has zero DRAM bandwidth", self.name));
+            return Err(format!(
+                "architecture '{}' has zero DRAM bandwidth",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -315,7 +322,10 @@ mod tests {
             .mac_tree(MacTree::new(16, 16))
             .local_memory(Bytes::from_kib(2048))
             .global_memory(Bytes::from_mib(16))
-            .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+            .dram(DramSpec::hbm2e(
+                Bytes::from_gib(80),
+                Bandwidth::from_tbps(2.0),
+            ))
             .p2p_bandwidth(Bandwidth::from_gbps(64.0))
             .frequency(Frequency::from_mhz(1500.0))
             .build()
@@ -325,7 +335,11 @@ mod tests {
     fn table3_ador_peak_flops() {
         let a = ador_design();
         // Table III reports 417 TFLOPS.
-        assert!((a.peak_flops().as_tflops() - 417.0).abs() < 2.0, "{}", a.peak_flops());
+        assert!(
+            (a.peak_flops().as_tflops() - 417.0).abs() < 2.0,
+            "{}",
+            a.peak_flops()
+        );
         assert!(a.is_hda());
     }
 

@@ -75,7 +75,13 @@ pub struct AreaBreakdown {
 impl AreaBreakdown {
     /// Total die area.
     pub fn total(&self) -> Area {
-        self.sa + self.mt + self.vu + self.sram + self.dram_interface + self.p2p_interface + self.system
+        self.sa
+            + self.mt
+            + self.vu
+            + self.sram
+            + self.dram_interface
+            + self.p2p_interface
+            + self.system
     }
 
     /// Compute fraction of the die (SA + MT + VU over total).
@@ -89,8 +95,14 @@ impl fmt::Display for AreaBreakdown {
         write!(
             f,
             "SA {} + MT {} + VU {} + SRAM {} + DRAM-IF {} + P2P {} + system {} = {}",
-            self.sa, self.mt, self.vu, self.sram, self.dram_interface, self.p2p_interface,
-            self.system, self.total()
+            self.sa,
+            self.mt,
+            self.vu,
+            self.sram,
+            self.dram_interface,
+            self.p2p_interface,
+            self.system,
+            self.total()
         )
     }
 }
@@ -120,10 +132,8 @@ impl AreaModel {
             mt: mm2(arch.mt_macs() as f64 * self.mt_mac_mm2 * logic_scale),
             vu: mm2((arch.vu.lanes() * arch.cores) as f64 * self.vu_lane_mm2 * logic_scale),
             sram: mm2(arch.total_sram().as_mib() * self.sram_mm2_per_mib * logic_scale),
-            dram_interface: mm2(
-                arch.dram.bandwidth.as_tbps() * self.dram_mm2_per_tbps
-                    + arch.dram.capacity.as_gib() * self.dram_mm2_per_gib,
-            ),
+            dram_interface: mm2(arch.dram.bandwidth.as_tbps() * self.dram_mm2_per_tbps
+                + arch.dram.capacity.as_gib() * self.dram_mm2_per_gib),
             p2p_interface: mm2(arch.p2p_bandwidth.as_gbps() * self.p2p_mm2_per_gbps),
             system: mm2(self.system_mm2 * logic_scale),
         }
@@ -159,13 +169,22 @@ mod tests {
             .mac_tree(MacTree::new(16, 16))
             .local_memory(Bytes::from_kib(2048))
             .global_memory(Bytes::from_mib(16))
-            .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+            .dram(DramSpec::hbm2e(
+                Bytes::from_gib(80),
+                Bandwidth::from_tbps(2.0),
+            ))
             .p2p_bandwidth(Bandwidth::from_gbps(64.0))
             .frequency(Frequency::from_mhz(1500.0))
             .build()
     }
 
-    fn llmcompass(name: &str, sa: usize, local_kib: u64, global_mib: u64, dram: DramSpec) -> Architecture {
+    fn llmcompass(
+        name: &str,
+        sa: usize,
+        local_kib: u64,
+        global_mib: u64,
+        dram: DramSpec,
+    ) -> Architecture {
         Architecture::builder(name)
             .cores(64)
             .systolic_array(SystolicArray::square(sa))
@@ -232,8 +251,13 @@ mod tests {
     fn breakdown_sums() {
         let model = AreaModel::default();
         let b = model.estimate(&ador_design());
-        let manual = b.sa.as_mm2() + b.mt.as_mm2() + b.vu.as_mm2() + b.sram.as_mm2()
-            + b.dram_interface.as_mm2() + b.p2p_interface.as_mm2() + b.system.as_mm2();
+        let manual = b.sa.as_mm2()
+            + b.mt.as_mm2()
+            + b.vu.as_mm2()
+            + b.sram.as_mm2()
+            + b.dram_interface.as_mm2()
+            + b.p2p_interface.as_mm2()
+            + b.system.as_mm2();
         assert!((b.total().as_mm2() - manual).abs() < 1e-9);
         assert!(b.compute_fraction() > 0.3 && b.compute_fraction() < 0.7);
     }

@@ -56,7 +56,10 @@ impl MacTree {
     ///
     /// Panics if `size` or `lanes` is zero.
     pub fn new(size: usize, lanes: usize) -> Self {
-        assert!(size > 0 && lanes > 0, "MAC tree size and lanes must be positive");
+        assert!(
+            size > 0 && lanes > 0,
+            "MAC tree size and lanes must be positive"
+        );
         Self { size, lanes }
     }
 
@@ -64,7 +67,12 @@ impl MacTree {
     /// paper's §V-A formula, with `lanes` parallel trees sharing the
     /// stream. The width is rounded up to a power of two (adder trees are
     /// binary); the bank as a whole consumes at least the requested beat.
-    pub fn sized_for(bandwidth: Bandwidth, freq: Frequency, dtype_bytes: u64, lanes: usize) -> Self {
+    pub fn sized_for(
+        bandwidth: Bandwidth,
+        freq: Frequency,
+        dtype_bytes: u64,
+        lanes: usize,
+    ) -> Self {
         let elems_per_cycle = bandwidth.bytes_per_cycle(freq) / dtype_bytes as f64;
         let per_lane = (elems_per_cycle / lanes as f64).max(1.0);
         Self::new((per_lane.ceil() as usize).next_power_of_two(), lanes)
@@ -108,7 +116,10 @@ impl MacTree {
     /// penalty beyond the pipeline [`depth`](Self::depth); utilization only
     /// drops on ragged `K` (partial final beat per dot product).
     pub fn matmul_timing(&self, m: usize, k: usize, n: usize, count: usize) -> GemvTiming {
-        assert!(m > 0 && k > 0 && n > 0 && count > 0, "matmul dimensions must be positive");
+        assert!(
+            m > 0 && k > 0 && n > 0 && count > 0,
+            "matmul dimensions must be positive"
+        );
         // Each dot product needs ceil(k / size) beats on one lane; lanes
         // process independent output elements in parallel.
         let beats_per_dot = k.div_ceil(self.size) as u64;
@@ -149,7 +160,10 @@ mod tests {
         // The same 256 MACs as a 16×16 SA, on the same GEMV.
         let mt = MacTree::new(16, 16).matmul_timing(1, 4096, 4096, 1);
         let sa = crate::SystolicArray::new(16, 16).gemm_timing(1, 4096, 4096);
-        assert!(mt.cycles.get() * 10 < sa.cycles.get(), "mt {mt:?} sa {sa:?}");
+        assert!(
+            mt.cycles.get() * 10 < sa.cycles.get(),
+            "mt {mt:?} sa {sa:?}"
+        );
     }
 
     #[test]
@@ -168,7 +182,10 @@ mod tests {
         // fixes size 16 and raises lanes; both satisfy the beat.
         let mt = MacTree::sized_for(Bandwidth::from_tbps(2.0), Frequency::from_ghz(1.5), 2, 16);
         let consumed = mt.matched_bandwidth(Frequency::from_ghz(1.5), 2);
-        assert!(consumed.as_tbps() >= 2.0, "bank must at least consume the beat");
+        assert!(
+            consumed.as_tbps() >= 2.0,
+            "bank must at least consume the beat"
+        );
     }
 
     #[test]

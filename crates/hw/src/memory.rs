@@ -67,7 +67,11 @@ pub struct DramSpec {
 impl DramSpec {
     /// Creates a memory spec.
     pub fn new(kind: DramKind, capacity: Bytes, bandwidth: Bandwidth) -> Self {
-        Self { kind, capacity, bandwidth }
+        Self {
+            kind,
+            capacity,
+            bandwidth,
+        }
     }
 
     /// HBM2 convenience constructor.
@@ -137,7 +141,12 @@ pub struct EffectiveBandwidthModel {
 
 impl Default for EffectiveBandwidthModel {
     fn default() -> Self {
-        Self { base: 0.70, per_decade: 0.10, floor: 0.50, ceiling: 0.90 }
+        Self {
+            base: 0.70,
+            per_decade: 0.10,
+            floor: 0.50,
+            ceiling: 0.90,
+        }
     }
 }
 
@@ -176,7 +185,11 @@ mod tests {
         // paper's measured points sit in the 80–90 % band (368–414 GB/s).
         let law = EffectiveBandwidthModel::default();
         let eff = law.effective(Bandwidth::from_gbps(460.0), FlopCount::new(6e10));
-        assert!((368.0..=414.0).contains(&eff.as_gbps()), "{}", eff.as_gbps());
+        assert!(
+            (368.0..=414.0).contains(&eff.as_gbps()),
+            "{}",
+            eff.as_gbps()
+        );
     }
 
     #[test]

@@ -77,7 +77,12 @@ impl fmt::Display for PowerBreakdown {
         write!(
             f,
             "compute {} + SRAM {} + DRAM {} + P2P {} + static {} = {}",
-            self.compute, self.sram, self.dram, self.p2p, self.static_power, self.total()
+            self.compute,
+            self.sram,
+            self.dram,
+            self.p2p,
+            self.static_power,
+            self.total()
         )
     }
 }
@@ -99,7 +104,11 @@ pub struct OperatingPoint {
 impl OperatingPoint {
     /// Everything at 100 % — the TDP-style worst case.
     pub fn peak() -> Self {
-        Self { compute: Utilization::FULL, dram: Utilization::FULL, p2p: Utilization::FULL }
+        Self {
+            compute: Utilization::FULL,
+            dram: Utilization::FULL,
+            p2p: Utilization::FULL,
+        }
     }
 
     /// A decode-heavy point: memory saturated, compute trickling.
@@ -133,9 +142,10 @@ impl PowerModel {
         let sa_rate = arch.sa_macs() as f64 * f * point.compute.get();
         let mt_rate = arch.mt_macs() as f64 * f * point.compute.get();
         let vu_rate = (arch.vu.lanes() * arch.cores) as f64 * f * point.compute.get();
-        let compute_w =
-            (sa_rate * self.sa_j_per_mac + mt_rate * self.mt_j_per_mac + vu_rate * self.vu_j_per_op)
-                * scale;
+        let compute_w = (sa_rate * self.sa_j_per_mac
+            + mt_rate * self.mt_j_per_mac
+            + vu_rate * self.vu_j_per_op)
+            * scale;
 
         // SRAM traffic: assume each busy MAC reads one operand byte pair.
         let sram_w = (sa_rate + mt_rate) * 2.0 * self.sram_j_per_byte * scale;
@@ -192,7 +202,10 @@ mod tests {
             .mac_tree(MacTree::new(16, 16))
             .local_memory(Bytes::from_kib(2048))
             .global_memory(Bytes::from_mib(16))
-            .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+            .dram(DramSpec::hbm2e(
+                Bytes::from_gib(80),
+                Bandwidth::from_tbps(2.0),
+            ))
             .p2p_bandwidth(Bandwidth::from_gbps(64.0))
             .frequency(Frequency::from_mhz(1500.0))
             .build()
@@ -240,8 +253,11 @@ mod tests {
     #[test]
     fn breakdown_sums() {
         let p = PowerModel::default().estimate(&ador_design(), OperatingPoint::peak());
-        let manual = p.compute.as_watts() + p.sram.as_watts() + p.dram.as_watts()
-            + p.p2p.as_watts() + p.static_power.as_watts();
+        let manual = p.compute.as_watts()
+            + p.sram.as_watts()
+            + p.dram.as_watts()
+            + p.p2p.as_watts()
+            + p.static_power.as_watts();
         assert!((p.total().as_watts() - manual).abs() < 1e-9);
     }
 

@@ -89,7 +89,10 @@ mod tests {
 
     #[test]
     fn scales_are_monotone_in_node_size() {
-        let scales: Vec<f64> = ProcessNode::all().iter().map(|n| n.area_scale_vs_7nm()).collect();
+        let scales: Vec<f64> = ProcessNode::all()
+            .iter()
+            .map(|n| n.area_scale_vs_7nm())
+            .collect();
         assert!(scales.windows(2).all(|w| w[0] < w[1]), "{scales:?}");
     }
 

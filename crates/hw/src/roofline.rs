@@ -82,7 +82,10 @@ impl Roofline {
 
     /// Attainable throughput at `intensity` FLOPs/byte.
     pub fn attainable(&self, intensity: f64) -> FlopRate {
-        assert!(intensity.is_finite() && intensity >= 0.0, "intensity must be non-negative");
+        assert!(
+            intensity.is_finite() && intensity >= 0.0,
+            "intensity must be non-negative"
+        );
         FlopRate::new((self.bandwidth.as_bytes_per_sec() * intensity).min(self.peak.get()))
     }
 
@@ -98,7 +101,13 @@ impl Roofline {
 
 impl fmt::Display for Roofline {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "roofline: {} / {} (ridge {:.1} flop/B)", self.peak, self.bandwidth, self.ridge())
+        write!(
+            f,
+            "roofline: {} / {} (ridge {:.1} flop/B)",
+            self.peak,
+            self.bandwidth,
+            self.ridge()
+        )
     }
 }
 

@@ -57,7 +57,10 @@ impl SystolicArray {
     ///
     /// Panics if either dimension is zero.
     pub fn new(rows: usize, cols: usize) -> Self {
-        assert!(rows > 0 && cols > 0, "systolic array dimensions must be positive");
+        assert!(
+            rows > 0 && cols > 0,
+            "systolic array dimensions must be positive"
+        );
         Self { rows, cols }
     }
 
@@ -99,7 +102,10 @@ impl SystolicArray {
     /// back-to-back (e.g. one per attention head). Successive GEMMs reuse
     /// the pipeline, so the first-fill penalty is paid once.
     pub fn batched_gemm_timing(&self, m: usize, k: usize, n: usize, count: usize) -> GemmTiming {
-        assert!(m > 0 && k > 0 && n > 0 && count > 0, "GEMM dimensions must be positive");
+        assert!(
+            m > 0 && k > 0 && n > 0 && count > 0,
+            "GEMM dimensions must be positive"
+        );
         let folds_per_gemm = k.div_ceil(self.rows) as u64 * n.div_ceil(self.cols) as u64;
         let folds = folds_per_gemm * count as u64;
         let per_fold = (m + self.rows + self.cols - 2) as u64;

@@ -270,7 +270,8 @@ impl ModelConfig {
             ));
         }
         if let Some(moe) = &self.moe {
-            moe.validate().map_err(|e| format!("model '{}': {e}", self.name))?;
+            moe.validate()
+                .map_err(|e| format!("model '{}': {e}", self.name))?;
         }
         Ok(())
     }
@@ -413,13 +414,9 @@ impl ModelConfigBuilder {
             layers: self.layers,
             heads,
             kv_heads: self.kv_heads.unwrap_or(heads),
-            head_dim: self.head_dim.unwrap_or_else(|| {
-                if heads == 0 {
-                    0
-                } else {
-                    self.hidden / heads
-                }
-            }),
+            head_dim: self
+                .head_dim
+                .unwrap_or_else(|| self.hidden.checked_div(heads).unwrap_or(0)),
             intermediate: self.intermediate,
             vocab: self.vocab,
             gated_mlp: self.gated_mlp,
@@ -530,6 +527,9 @@ mod tests {
                 * mixtral.dtype.bytes(),
         );
         assert!(b1 < b128, "small batch must activate fewer experts");
-        assert!(b128 <= all, "streamed weights can never exceed the full layer");
+        assert!(
+            b128 <= all,
+            "streamed weights can never exceed the full layer"
+        );
     }
 }

@@ -68,7 +68,14 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
     let mut ops = Vec::with_capacity(16);
 
     // Pre-attention RMSNorm.
-    ops.push(vector(OpName::AttnNorm, OpKind::Norm { elements: (m * h) as u64 }, mh, mh));
+    ops.push(vector(
+        OpName::AttnNorm,
+        OpKind::Norm {
+            elements: (m * h) as u64,
+        },
+        mh,
+        mh,
+    ));
 
     // Fused QKV projection; the K/V outputs for this step's tokens are the
     // KV-cache write.
@@ -88,7 +95,9 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
     // Rotary position embedding on Q and K.
     ops.push(vector(
         OpName::Rope,
-        OpKind::Elementwise { elements: (m * (q_dim + kv_dim)) as u64 },
+        OpKind::Elementwise {
+            elements: (m * (q_dim + kv_dim)) as u64,
+        },
         act(m * (q_dim + kv_dim)),
         act(m * (q_dim + kv_dim)),
     ));
@@ -112,7 +121,9 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
 
     ops.push(vector(
         OpName::AttnSoftmax,
-        OpKind::Softmax { elements: score_elems },
+        OpKind::Softmax {
+            elements: score_elems,
+        },
         Bytes::new(score_elems * dt),
         Bytes::new(score_elems * dt),
     ));
@@ -139,8 +150,22 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
         mh,
     ));
 
-    ops.push(vector(OpName::Residual, OpKind::Elementwise { elements: (m * h) as u64 }, mh, mh));
-    ops.push(vector(OpName::MlpNorm, OpKind::Norm { elements: (m * h) as u64 }, mh, mh));
+    ops.push(vector(
+        OpName::Residual,
+        OpKind::Elementwise {
+            elements: (m * h) as u64,
+        },
+        mh,
+        mh,
+    ));
+    ops.push(vector(
+        OpName::MlpNorm,
+        OpKind::Norm {
+            elements: (m * h) as u64,
+        },
+        mh,
+        mh,
+    ));
 
     // MLP block. For MoE the router picks top-k experts per token; weights
     // streamed = expected distinct experts activated by this batch, compute
@@ -161,7 +186,10 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
             // Routing is per *token*, so the expert coverage follows the
             // tokens in flight: a decode step activates per its batch, a
             // prefill chunk of thousands of tokens touches every expert.
-            (moe.experts_per_token, dense_matrix_bytes * moe.expected_active_experts(m))
+            (
+                moe.experts_per_token,
+                dense_matrix_bytes * moe.expected_active_experts(m),
+            )
         }
         None => (1, dense_matrix_bytes),
     };
@@ -186,7 +214,14 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
     ));
     // Activation (and gate multiply when gated).
     let act_elems = (m * i * expert_passes) as u64 * if cfg.gated_mlp { 2 } else { 1 };
-    ops.push(vector(OpName::MlpAct, OpKind::Elementwise { elements: act_elems }, mi, mi));
+    ops.push(vector(
+        OpName::MlpAct,
+        OpKind::Elementwise {
+            elements: act_elems,
+        },
+        mi,
+        mi,
+    ));
     ops.push(matmul(
         OpName::MlpDown,
         OpClass::WeightMatMul,
@@ -196,7 +231,14 @@ pub fn layer_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
         mh,
     ));
 
-    ops.push(vector(OpName::Residual, OpKind::Elementwise { elements: (m * h) as u64 }, mh, mh));
+    ops.push(vector(
+        OpName::Residual,
+        OpKind::Elementwise {
+            elements: (m * h) as u64,
+        },
+        mh,
+        mh,
+    ));
 
     ops
 }
@@ -216,18 +258,27 @@ pub fn once_operators(cfg: &ModelConfig, phase: Phase) -> Vec<Operator> {
     let act = |elems: usize| Bytes::new(elems as u64 * dt);
     let mh = act(m * h);
 
-    let mut ops = Vec::with_capacity(3);
-    ops.push(Operator {
+    let mut ops = vec![Operator {
         name: OpName::Embed,
-        kind: OpKind::Gather { tokens: m as u64, hidden: h as u64 },
+        kind: OpKind::Gather {
+            tokens: m as u64,
+            hidden: h as u64,
+        },
         class: OpClass::Vector,
         weight_bytes: act(m * h), // embedding rows actually touched
         kv_read_bytes: Bytes::ZERO,
         kv_write_bytes: Bytes::ZERO,
         act_in_bytes: Bytes::ZERO,
         act_out_bytes: mh,
-    });
-    ops.push(vector(OpName::FinalNorm, OpKind::Norm { elements: (b * h) as u64 }, act(b * h), act(b * h)));
+    }];
+    ops.push(vector(
+        OpName::FinalNorm,
+        OpKind::Norm {
+            elements: (b * h) as u64,
+        },
+        act(b * h),
+        act(b * h),
+    ));
     ops.push(matmul(
         OpName::LmHead,
         OpClass::WeightMatMul,

@@ -56,7 +56,11 @@ impl fmt::Display for MatMulShape {
         if self.count == 1 {
             write!(f, "[{}x{}]·[{}x{}]", self.m, self.k, self.k, self.n)
         } else {
-            write!(f, "{}x [{}x{}]·[{}x{}]", self.count, self.m, self.k, self.k, self.n)
+            write!(
+                f,
+                "{}x [{}x{}]·[{}x{}]",
+                self.count, self.m, self.k, self.k, self.n
+            )
         }
     }
 }
@@ -281,7 +285,14 @@ mod tests {
         assert_eq!(OpKind::Softmax { elements: 10 }.flops().get(), 50.0);
         assert_eq!(OpKind::Norm { elements: 10 }.flops().get(), 40.0);
         assert_eq!(OpKind::Elementwise { elements: 10 }.flops().get(), 10.0);
-        assert_eq!(OpKind::Gather { tokens: 4, hidden: 8 }.flops(), FlopCount::ZERO);
+        assert_eq!(
+            OpKind::Gather {
+                tokens: 4,
+                hidden: 8
+            }
+            .flops(),
+            FlopCount::ZERO
+        );
     }
 
     #[test]
@@ -312,7 +323,10 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(format!("{}", MatMulShape::new(1, 2, 3)), "[1x2]·[2x3]");
-        assert_eq!(format!("{}", MatMulShape::batched(1, 2, 3, 4)), "4x [1x2]·[2x3]");
+        assert_eq!(
+            format!("{}", MatMulShape::batched(1, 2, 3, 4)),
+            "4x [1x2]·[2x3]"
+        );
         assert_eq!(format!("{}", OpClass::Attention), "attention");
         assert_eq!(format!("{}", OpName::QkvProj), "qkv_proj");
     }

@@ -50,7 +50,10 @@ impl Phase {
     ///
     /// Panics if `batch` or `prompt_len` is zero.
     pub fn prefill(batch: usize, prompt_len: usize) -> Self {
-        assert!(batch > 0 && prompt_len > 0, "prefill needs batch > 0 and prompt_len > 0");
+        assert!(
+            batch > 0 && prompt_len > 0,
+            "prefill needs batch > 0 and prompt_len > 0"
+        );
         Phase::Prefill { batch, prompt_len }
     }
 
@@ -60,7 +63,10 @@ impl Phase {
     ///
     /// Panics if `batch` or `context_len` is zero.
     pub fn decode(batch: usize, context_len: usize) -> Self {
-        assert!(batch > 0 && context_len > 0, "decode needs batch > 0 and context_len > 0");
+        assert!(
+            batch > 0 && context_len > 0,
+            "decode needs batch > 0 and context_len > 0"
+        );
         Phase::Decode { batch, context_len }
     }
 
@@ -169,8 +175,14 @@ mod tests {
 
     #[test]
     fn display_names_phase() {
-        assert_eq!(format!("{}", Phase::prefill(1, 2)), "prefill(batch=1, prompt=2)");
-        assert_eq!(format!("{}", Phase::decode(3, 4)), "decode(batch=3, context=4)");
+        assert_eq!(
+            format!("{}", Phase::prefill(1, 2)),
+            "prefill(batch=1, prompt=2)"
+        );
+        assert_eq!(
+            format!("{}", Phase::decode(3, 4)),
+            "decode(batch=3, context=4)"
+        );
     }
 
     proptest! {

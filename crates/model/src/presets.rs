@@ -218,7 +218,9 @@ pub fn all() -> Vec<ModelConfig> {
 /// ```
 pub fn by_name(name: &str) -> Option<ModelConfig> {
     let needle = name.to_ascii_lowercase();
-    all().into_iter().find(|m| m.name.to_ascii_lowercase() == needle)
+    all()
+        .into_iter()
+        .find(|m| m.name.to_ascii_lowercase() == needle)
 }
 
 #[cfg(test)]
@@ -248,7 +250,11 @@ mod tests {
         for (m, expect, tol) in cases {
             let got = billions(&m);
             let rel = (got - expect).abs() / expect;
-            assert!(rel < tol, "{}: {got:.2}B vs {expect}B (rel {rel:.3})", m.name);
+            assert!(
+                rel < tol,
+                "{}: {got:.2}B vs {expect}B (rel {rel:.3})",
+                m.name
+            );
         }
     }
 
@@ -274,8 +280,10 @@ mod tests {
 
     #[test]
     fn opt_family_is_ordered_by_size() {
-        let sizes: Vec<f64> =
-            [opt_1_3b(), opt_6_7b(), opt_13b(), opt_30b(), opt_66b()].iter().map(billions).collect();
+        let sizes: Vec<f64> = [opt_1_3b(), opt_6_7b(), opt_13b(), opt_30b(), opt_66b()]
+            .iter()
+            .map(billions)
+            .collect();
         assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
     }
 

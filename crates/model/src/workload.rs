@@ -181,8 +181,10 @@ mod tests {
     #[test]
     fn fig3a_share_grows_with_batch() {
         let m = presets::llama3_8b();
-        let shares: Vec<f64> =
-            [1, 16, 64, 128].iter().map(|&b| kv_read_share(&m, b, 8192)).collect();
+        let shares: Vec<f64> = [1, 16, 64, 128]
+            .iter()
+            .map(|&b| kv_read_share(&m, b, 8192))
+            .collect();
         assert!(shares.windows(2).all(|w| w[0] < w[1]), "{shares:?}");
     }
 

@@ -31,7 +31,11 @@ pub enum SyncStrategy {
 impl SyncStrategy {
     /// All strategies, in the order the paper plots them.
     pub fn all() -> [SyncStrategy; 3] {
-        [SyncStrategy::AllGather, SyncStrategy::AllReduce, SyncStrategy::Megatron]
+        [
+            SyncStrategy::AllGather,
+            SyncStrategy::AllReduce,
+            SyncStrategy::Megatron,
+        ]
     }
 
     /// Synchronization points per two-GEMM block.
@@ -161,9 +165,15 @@ mod tests {
         let link = Bandwidth::from_gbps(64.0);
         let lat = Seconds::from_micros(5.0);
         for n in [4, 8, 16] {
-            let ag = SyncStrategy::AllGather.block_cost(n, MSG).total_time(link, lat);
-            let mg = SyncStrategy::Megatron.block_cost(n, MSG).total_time(link, lat);
-            let ar = SyncStrategy::AllReduce.block_cost(n, MSG).total_time(link, lat);
+            let ag = SyncStrategy::AllGather
+                .block_cost(n, MSG)
+                .total_time(link, lat);
+            let mg = SyncStrategy::Megatron
+                .block_cost(n, MSG)
+                .total_time(link, lat);
+            let ar = SyncStrategy::AllReduce
+                .block_cost(n, MSG)
+                .total_time(link, lat);
             assert!(ag < mg && mg < ar, "n={n}");
         }
     }

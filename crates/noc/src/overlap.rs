@@ -33,12 +33,16 @@ pub struct OverlapModel {
 impl OverlapModel {
     /// Full pipelining (all-gather of final sums, Fig. 6d top).
     pub fn pipelined() -> Self {
-        Self { hiding: Utilization::new(0.95) }
+        Self {
+            hiding: Utilization::new(0.95),
+        }
     }
 
     /// No overlap at all (all-reduce accumulation bubbles, Fig. 6d bottom).
     pub fn serialized() -> Self {
-        Self { hiding: Utilization::IDLE }
+        Self {
+            hiding: Utilization::IDLE,
+        }
     }
 
     /// A custom hiding fraction.
@@ -47,7 +51,9 @@ impl OverlapModel {
     ///
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn new(fraction: f64) -> Self {
-        Self { hiding: Utilization::new(fraction) }
+        Self {
+            hiding: Utilization::new(fraction),
+        }
     }
 
     /// Communication time left exposed after hiding under `compute`.

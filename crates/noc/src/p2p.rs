@@ -28,7 +28,10 @@ impl P2pLink {
     /// Creates a link with the given bandwidth and a default 2 µs
     /// end-to-end latency.
     pub fn new(bandwidth: Bandwidth) -> Self {
-        Self { bandwidth, latency: Seconds::from_micros(2.0) }
+        Self {
+            bandwidth,
+            latency: Seconds::from_micros(2.0),
+        }
     }
 
     /// Overrides the per-transfer latency.

@@ -35,7 +35,11 @@ impl RingNoc {
     /// Panics if `nodes` is zero.
     pub fn new(nodes: usize, link_bandwidth: Bandwidth) -> Self {
         assert!(nodes > 0, "ring must have at least one node");
-        Self { nodes, link_bandwidth, hop_latency: Seconds::new(20e-9) }
+        Self {
+            nodes,
+            link_bandwidth,
+            hop_latency: Seconds::new(20e-9),
+        }
     }
 
     /// Overrides the per-hop router latency.

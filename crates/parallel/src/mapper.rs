@@ -21,7 +21,10 @@ pub struct ParallelPlan {
 impl ParallelPlan {
     /// A single-device plan.
     pub fn single_device() -> Self {
-        Self { tp: TensorParallel::single(), pp: PipelineParallel::new(1) }
+        Self {
+            tp: TensorParallel::single(),
+            pp: PipelineParallel::new(1),
+        }
     }
 
     /// Total devices consumed.
@@ -48,7 +51,10 @@ impl ParallelPlan {
         let total = model
             .weight_bytes()
             .checked_add(kv_budget)
-            .ok_or(PlanError::Unsplittable { tp: 0, kv_heads: model.kv_heads })?;
+            .ok_or(PlanError::Unsplittable {
+                tp: 0,
+                kv_heads: model.kv_heads,
+            })?;
         let mut tp = 1usize;
         loop {
             let per_device = total * (1.0 / tp as f64);
@@ -66,7 +72,10 @@ impl ParallelPlan {
         }
         // Attention heads shard across TP devices; the KV heads must divide.
         if tp > 1 && model.kv_heads % tp.min(model.kv_heads) != 0 && model.heads % tp != 0 {
-            return Err(PlanError::Unsplittable { tp, kv_heads: model.kv_heads });
+            return Err(PlanError::Unsplittable {
+                tp,
+                kv_heads: model.kv_heads,
+            });
         }
         Ok(Self {
             tp: TensorParallel::recommended(tp),
@@ -106,12 +115,19 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::ExceedsDeviceBudget { needed, budget, total_bytes } => write!(
+            PlanError::ExceedsDeviceBudget {
+                needed,
+                budget,
+                total_bytes,
+            } => write!(
                 f,
                 "placing {total_bytes} needs {needed} devices but only {budget} are available"
             ),
             PlanError::Unsplittable { tp, kv_heads } => {
-                write!(f, "tensor-parallel width {tp} does not divide {kv_heads} KV heads")
+                write!(
+                    f,
+                    "tensor-parallel width {tp} does not divide {kv_heads} KV heads"
+                )
             }
         }
     }

@@ -73,7 +73,9 @@ impl PipelineParallel {
     pub fn layers_per_stage(&self, layers: usize) -> Vec<usize> {
         let base = layers / self.stages;
         let extra = layers % self.stages;
-        (0..self.stages).map(|i| base + usize::from(i < extra)).collect()
+        (0..self.stages)
+            .map(|i| base + usize::from(i < extra))
+            .collect()
     }
 }
 

@@ -128,7 +128,10 @@ mod tests {
         );
         let at32 = pts[1].1;
         let at128 = pts[3].1;
-        assert!(at32 > 0.75 * at128, "32 GB/s {at32:.2} vs 128 GB/s {at128:.2}");
+        assert!(
+            at32 > 0.75 * at128,
+            "32 GB/s {at32:.2} vs 128 GB/s {at128:.2}"
+        );
     }
 
     #[test]

@@ -68,7 +68,11 @@ impl TensorParallel {
     /// The strategy the paper recommends for a given device count:
     /// Megatron at ≤2 devices, all-gather beyond (§V-C).
     pub fn recommended(devices: usize) -> Self {
-        let strategy = if devices <= 2 { SyncStrategy::Megatron } else { SyncStrategy::AllGather };
+        let strategy = if devices <= 2 {
+            SyncStrategy::Megatron
+        } else {
+            SyncStrategy::AllGather
+        };
         Self::new(devices, strategy)
     }
 
@@ -161,8 +165,14 @@ mod tests {
 
     #[test]
     fn recommended_matches_paper_rule() {
-        assert_eq!(TensorParallel::recommended(2).strategy, SyncStrategy::Megatron);
-        assert_eq!(TensorParallel::recommended(4).strategy, SyncStrategy::AllGather);
+        assert_eq!(
+            TensorParallel::recommended(2).strategy,
+            SyncStrategy::Megatron
+        );
+        assert_eq!(
+            TensorParallel::recommended(4).strategy,
+            SyncStrategy::AllGather
+        );
     }
 
     #[test]

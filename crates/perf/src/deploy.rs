@@ -48,7 +48,11 @@ impl Deployment {
     /// Panics if `devices` is zero.
     pub fn tensor_parallel(devices: usize) -> Self {
         let tp = TensorParallel::recommended(devices);
-        Self { devices, strategy: tp.strategy, link: P2pLink::pcie5_x16() }
+        Self {
+            devices,
+            strategy: tp.strategy,
+            link: P2pLink::pcie5_x16(),
+        }
     }
 
     /// Replaces the P2P link.
@@ -77,7 +81,11 @@ impl Default for Deployment {
 
 impl fmt::Display for Deployment {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} device(s), {}, {}", self.devices, self.strategy, self.link)
+        write!(
+            f,
+            "{} device(s), {}, {}",
+            self.devices, self.strategy, self.link
+        )
     }
 }
 
@@ -87,8 +95,14 @@ mod tests {
 
     #[test]
     fn recommended_strategy_applied() {
-        assert_eq!(Deployment::tensor_parallel(2).strategy, SyncStrategy::Megatron);
-        assert_eq!(Deployment::tensor_parallel(8).strategy, SyncStrategy::AllGather);
+        assert_eq!(
+            Deployment::tensor_parallel(2).strategy,
+            SyncStrategy::Megatron
+        );
+        assert_eq!(
+            Deployment::tensor_parallel(8).strategy,
+            SyncStrategy::AllGather
+        );
     }
 
     #[test]

@@ -33,13 +33,21 @@ pub enum PerfError {
 impl fmt::Display for PerfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PerfError::ModelTooLarge { model, needed, capacity, devices } => write!(
+            PerfError::ModelTooLarge {
+                model,
+                needed,
+                capacity,
+                devices,
+            } => write!(
                 f,
                 "model '{model}' needs {needed} per device across {devices} device(s) \
                  but only {capacity} is available"
             ),
             PerfError::KvCacheTooLarge { kv, available } => {
-                write!(f, "KV cache of {kv} exceeds the {available} left after weights")
+                write!(
+                    f,
+                    "KV cache of {kv} exceeds the {available} left after weights"
+                )
             }
             PerfError::InvalidArchitecture(msg) => write!(f, "invalid architecture: {msg}"),
         }

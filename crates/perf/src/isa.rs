@@ -77,10 +77,20 @@ impl fmt::Display for Instruction {
         match self {
             Instruction::StreamWeights { bytes } => write!(f, "stream.w {bytes}"),
             Instruction::ReadKv { bytes, on_chip } => {
-                write!(f, "read.kv {bytes}{}", if *on_chip { " (on-chip)" } else { "" })
+                write!(
+                    f,
+                    "read.kv {bytes}{}",
+                    if *on_chip { " (on-chip)" } else { "" }
+                )
             }
             Instruction::WriteKv { bytes } => write!(f, "write.kv {bytes}"),
-            Instruction::MatMul { unit, m, k, n, count } => {
+            Instruction::MatMul {
+                unit,
+                m,
+                k,
+                n,
+                count,
+            } => {
                 write!(f, "matmul.{unit:?} {count}x[{m}x{k}]x[{k}x{n}]")
             }
             Instruction::Vector { passes, elements } => write!(f, "vec x{passes} {elements}"),
@@ -180,7 +190,12 @@ impl<'a> CycleExecutor<'a> {
         phase: Phase,
         step_flops: FlopCount,
     ) -> Self {
-        Self { arch, deployment, phase, step_flops }
+        Self {
+            arch,
+            deployment,
+            phase,
+            step_flops,
+        }
     }
 
     /// Replays `program` and reports timing.
@@ -217,7 +232,9 @@ impl<'a> CycleExecutor<'a> {
         for instr in &bundle.instrs {
             match instr {
                 Instruction::StreamWeights { bytes } => {
-                    let bw = profile.weight_stream.effective(self.arch.dram.bandwidth, self.step_flops);
+                    let bw = profile
+                        .weight_stream
+                        .effective(self.arch.dram.bandwidth, self.step_flops);
                     mem += *bytes / bw;
                 }
                 Instruction::ReadKv { bytes, on_chip } => {
@@ -234,7 +251,13 @@ impl<'a> CycleExecutor<'a> {
                         .effective(self.arch.dram.bandwidth, self.step_flops);
                     mem += *bytes / bw;
                 }
-                Instruction::MatMul { unit, m, k, n, count } => {
+                Instruction::MatMul {
+                    unit,
+                    m,
+                    k,
+                    n,
+                    count,
+                } => {
                     let flops = FlopCount::from_macs((*m * *k * *n * *count) as u64);
                     let rate = match unit {
                         UnitChoice::Fabric | UnitChoice::VectorUnit => {
@@ -249,9 +272,11 @@ impl<'a> CycleExecutor<'a> {
                             crate::schedule::sa_effective_rate(self.arch, *m, *k, *n, *count)
                                 .derated(profile.gemm_efficiency)
                         }
-                        UnitChoice::Both => crate::schedule::fabric_rates(self.arch, *m, *k, *n, *count)
-                            .combined()
-                            .derated(profile.gemm_efficiency),
+                        UnitChoice::Both => {
+                            crate::schedule::fabric_rates(self.arch, *m, *k, *n, *count)
+                                .combined()
+                                .derated(profile.gemm_efficiency)
+                        }
                     };
                     if !rate.is_zero() {
                         compute += flops / rate;
@@ -263,8 +288,7 @@ impl<'a> CycleExecutor<'a> {
                     compute += Seconds::new(spread / self.arch.frequency.as_hz());
                 }
                 Instruction::SyncCores { bytes } => {
-                    let ring =
-                        ador_noc::RingNoc::new(self.arch.cores, self.arch.noc_bandwidth);
+                    let ring = ador_noc::RingNoc::new(self.arch.cores, self.arch.noc_bandwidth);
                     sync += ring.all_gather_time(*bytes);
                 }
                 Instruction::SyncDevices { bytes, points } => {
@@ -288,7 +312,9 @@ mod tests {
         p.push(Bundle {
             label: "qkv".into(),
             bucket: "QKV Proj",
-            instrs: vec![Instruction::StreamWeights { bytes: Bytes::from_mib(1) }],
+            instrs: vec![Instruction::StreamWeights {
+                bytes: Bytes::from_mib(1),
+            }],
             repeat: 32,
         });
         assert_eq!(p.bundles().len(), 1);
@@ -302,8 +328,17 @@ mod tests {
             label: "attn".into(),
             bucket: "MHA",
             instrs: vec![
-                Instruction::ReadKv { bytes: Bytes::from_mib(4), on_chip: false },
-                Instruction::MatMul { unit: UnitChoice::MacTree, m: 1, k: 128, n: 1024, count: 32 },
+                Instruction::ReadKv {
+                    bytes: Bytes::from_mib(4),
+                    on_chip: false,
+                },
+                Instruction::MatMul {
+                    unit: UnitChoice::MacTree,
+                    m: 1,
+                    k: 128,
+                    n: 1024,
+                    count: 32,
+                },
             ],
             repeat: 1,
         });

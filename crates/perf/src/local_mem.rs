@@ -71,7 +71,10 @@ impl Default for LocalMemOptions {
     /// Flash-style 512-token score tiles, untiled LM head (to expose the
     /// Fig. 12 spike).
     fn default() -> Self {
-        Self { score_tile: Some(512), vocab_tile: None }
+        Self {
+            score_tile: Some(512),
+            vocab_tile: None,
+        }
     }
 }
 
@@ -104,7 +107,9 @@ pub fn peak_usage(
     let h = model.hidden as u64;
     let act = |elems: u64| Bytes::new(elems * dt);
 
-    let span = opts.score_tile.map_or(context_len as u64, |t| (t as u64).min(context_len as u64));
+    let span = opts
+        .score_tile
+        .map_or(context_len as u64, |t| (t as u64).min(context_len as u64));
     // Staging for Q/K/V of the current token plus one score tile per head.
     let attn = act(b * (model.q_dim() as u64 + 2 * model.kv_dim() as u64))
         + act(b * model.heads as u64 * span);
@@ -113,7 +118,9 @@ pub fn peak_usage(
     let mlp_buffers = if model.gated_mlp { 2 } else { 1 };
     let mlp = act(b * model.intermediate as u64 * mlp_buffers);
 
-    let vocab = opts.vocab_tile.map_or(model.vocab as u64, |t| (t as u64).min(model.vocab as u64));
+    let vocab = opts
+        .vocab_tile
+        .map_or(model.vocab as u64, |t| (t as u64).min(model.vocab as u64));
     let lm_head = act(b * vocab) + act(b * h);
 
     vec![
@@ -130,7 +137,10 @@ pub fn peak_usage(
 /// types, with the LM head vocab-tiled down to practicality (paper §V-B
 /// sizes local memory from the non-LM-head peak and tiles the head).
 pub fn required_local_memory(model: &ModelConfig, batch: usize, context_len: usize) -> Bytes {
-    let opts = LocalMemOptions { score_tile: Some(512), vocab_tile: Some(8192) };
+    let opts = LocalMemOptions {
+        score_tile: Some(512),
+        vocab_tile: Some(8192),
+    };
     peak_usage(model, batch, context_len, opts)
         .into_iter()
         .map(|(_, bytes)| bytes)
@@ -160,7 +170,11 @@ mod tests {
     #[test]
     fn fig12_lm_head_dominates() {
         let usage = peak_usage(&presets::llama3_8b(), 32, 1024, LocalMemOptions::default());
-        let lm = usage.iter().find(|(k, _)| *k == LayerKind::LmHead).unwrap().1;
+        let lm = usage
+            .iter()
+            .find(|(k, _)| *k == LayerKind::LmHead)
+            .unwrap()
+            .1;
         // batch 32 × vocab 128256 × 2 B ≈ 7.8 MiB.
         assert!(lm.as_mib() > 7.0, "{lm}");
     }
@@ -168,12 +182,21 @@ mod tests {
     #[test]
     fn flash_tiling_caps_attention_usage() {
         let m = presets::llama2_7b(); // MHA: widest scores
-        let flash = LocalMemOptions { score_tile: Some(512), vocab_tile: None };
-        let full = LocalMemOptions { score_tile: None, vocab_tile: None };
+        let flash = LocalMemOptions {
+            score_tile: Some(512),
+            vocab_tile: None,
+        };
+        let full = LocalMemOptions {
+            score_tile: None,
+            vocab_tile: None,
+        };
         let tiled = peak_usage(&m, 32, 8192, flash);
         let naive = peak_usage(&m, 32, 8192, full);
         let pick = |u: &[(LayerKind, Bytes)]| {
-            u.iter().find(|(k, _)| *k == LayerKind::SelfAttention).unwrap().1
+            u.iter()
+                .find(|(k, _)| *k == LayerKind::SelfAttention)
+                .unwrap()
+                .1
         };
         assert!(pick(&tiled).get() * 8 < pick(&naive).get());
     }

@@ -58,7 +58,10 @@ pub fn lower(
             label: "tp_sync".to_string(),
             bucket: "Others",
             instrs: vec![
-                Instruction::SyncDevices { bytes: exposed_bytes, points: cost.sync_points };
+                Instruction::SyncDevices {
+                    bytes: exposed_bytes,
+                    points: cost.sync_points
+                };
                 2
             ],
             repeat: model.layers,
@@ -97,15 +100,22 @@ fn lower_op(
     let mut instrs = Vec::with_capacity(4);
 
     if !op.weight_bytes.is_zero() {
-        instrs.push(Instruction::StreamWeights { bytes: op.weight_bytes * (1.0 / df) });
+        instrs.push(Instruction::StreamWeights {
+            bytes: op.weight_bytes * (1.0 / df),
+        });
     }
     if !op.kv_read_bytes.is_zero() {
         let share = op.kv_read_bytes * (1.0 / df);
         let on_chip = phase.is_prefill() && share <= arch.global_mem;
-        instrs.push(Instruction::ReadKv { bytes: share, on_chip });
+        instrs.push(Instruction::ReadKv {
+            bytes: share,
+            on_chip,
+        });
     }
     if !op.kv_write_bytes.is_zero() {
-        instrs.push(Instruction::WriteKv { bytes: op.kv_write_bytes * (1.0 / df) });
+        instrs.push(Instruction::WriteKv {
+            bytes: op.kv_write_bytes * (1.0 / df),
+        });
     }
 
     match &op.kind {
@@ -116,16 +126,31 @@ fn lower_op(
             } else {
                 (shape.n.div_ceil(d).max(1), shape.count)
             };
-            instrs.push(Instruction::MatMul { unit, m: shape.m, k: shape.k, n, count });
+            instrs.push(Instruction::MatMul {
+                unit,
+                m: shape.m,
+                k: shape.k,
+                n,
+                count,
+            });
         }
         OpKind::Softmax { elements } => {
-            instrs.push(Instruction::Vector { passes: 5, elements: elements.div_ceil(d as u64) });
+            instrs.push(Instruction::Vector {
+                passes: 5,
+                elements: elements.div_ceil(d as u64),
+            });
         }
         OpKind::Norm { elements } => {
-            instrs.push(Instruction::Vector { passes: 4, elements: elements.div_ceil(d as u64) });
+            instrs.push(Instruction::Vector {
+                passes: 4,
+                elements: elements.div_ceil(d as u64),
+            });
         }
         OpKind::Elementwise { elements } => {
-            instrs.push(Instruction::Vector { passes: 1, elements: elements.div_ceil(d as u64) });
+            instrs.push(Instruction::Vector {
+                passes: 1,
+                elements: elements.div_ceil(d as u64),
+            });
         }
         OpKind::Gather { tokens, hidden } => {
             instrs.push(Instruction::Vector {
@@ -154,9 +179,13 @@ mod tests {
     fn cross_validate(arch: &Architecture, phase: Phase, deployment: Deployment, tol: f64) {
         let model = presets::llama3_8b();
         let program = lower(arch, &model, phase, deployment);
-        let step_flops = StepSummary::compute(&model, phase).flops * (1.0 / deployment.devices as f64);
+        let step_flops =
+            StepSummary::compute(&model, phase).flops * (1.0 / deployment.devices as f64);
         let exec = CycleExecutor::new(arch, deployment, phase, step_flops).run(&program);
-        let analytical = Evaluator::new(arch, &model, deployment).unwrap().step(phase).unwrap();
+        let analytical = Evaluator::new(arch, &model, deployment)
+            .unwrap()
+            .step(phase)
+            .unwrap();
         let rel = (exec.total.get() - analytical.total.get()).abs() / analytical.total.get();
         assert!(
             rel < tol,
@@ -169,17 +198,32 @@ mod tests {
 
     #[test]
     fn executor_matches_analytical_decode() {
-        cross_validate(&ador_table3(), Phase::decode(32, 1024), Deployment::single_device(), 0.02);
+        cross_validate(
+            &ador_table3(),
+            Phase::decode(32, 1024),
+            Deployment::single_device(),
+            0.02,
+        );
     }
 
     #[test]
     fn executor_matches_analytical_prefill() {
-        cross_validate(&ador_table3(), Phase::prefill(2, 1024), Deployment::single_device(), 0.02);
+        cross_validate(
+            &ador_table3(),
+            Phase::prefill(2, 1024),
+            Deployment::single_device(),
+            0.02,
+        );
     }
 
     #[test]
     fn executor_matches_analytical_on_gpu() {
-        cross_validate(&a100(), Phase::decode(64, 2048), Deployment::single_device(), 0.02);
+        cross_validate(
+            &a100(),
+            Phase::decode(64, 2048),
+            Deployment::single_device(),
+            0.02,
+        );
     }
 
     #[test]
@@ -203,9 +247,11 @@ mod tests {
             Phase::decode(8, 512),
             Deployment::single_device(),
         );
-        let has_dram_kv = program.bundles().iter().flat_map(|b| &b.instrs).any(|i| {
-            matches!(i, Instruction::ReadKv { on_chip: false, .. })
-        });
+        let has_dram_kv = program
+            .bundles()
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i, Instruction::ReadKv { on_chip: false, .. }));
         assert!(has_dram_kv);
     }
 }

@@ -76,8 +76,12 @@ pub fn operator_latency(
     // -- Memory side ------------------------------------------------------
     let weight_share = op.weight_bytes * (1.0 / d);
     let kv_share = op.kv_read_bytes * (1.0 / d) + op.kv_write_bytes * (1.0 / d);
-    let weight_bw = profile.weight_stream.effective(arch.dram.bandwidth, step_flops_per_device);
-    let attn_bw = profile.attention_stream.effective(arch.dram.bandwidth, step_flops_per_device);
+    let weight_bw = profile
+        .weight_stream
+        .effective(arch.dram.bandwidth, step_flops_per_device);
+    let attn_bw = profile
+        .attention_stream
+        .effective(arch.dram.bandwidth, step_flops_per_device);
 
     let memory = match op.class {
         OpClass::Attention => {
@@ -91,8 +95,16 @@ pub fn operator_latency(
             }
         }
         _ => {
-            let wt = if weight_share.is_zero() { Seconds::ZERO } else { weight_share / weight_bw };
-            let kt = if kv_share.is_zero() { Seconds::ZERO } else { kv_share / attn_bw };
+            let wt = if weight_share.is_zero() {
+                Seconds::ZERO
+            } else {
+                weight_share / weight_bw
+            };
+            let kt = if kv_share.is_zero() {
+                Seconds::ZERO
+            } else {
+                kv_share / attn_bw
+            };
             wt + kt
         }
     };
@@ -101,7 +113,16 @@ pub fn operator_latency(
     let compute = match &op.kind {
         OpKind::MatMul(shape) => {
             let flops = shape.flops() * (1.0 / d);
-            let rate = matmul_rate(arch, unit, phase, shape.m, shape.k, shape.n, shape.count, deployment.devices);
+            let rate = matmul_rate(
+                arch,
+                unit,
+                phase,
+                shape.m,
+                shape.k,
+                shape.n,
+                shape.count,
+                deployment.devices,
+            );
             if rate.is_zero() {
                 Seconds::ZERO
             } else {
@@ -115,9 +136,10 @@ pub fn operator_latency(
         OpKind::Elementwise { elements } => {
             vu_time(arch, arch.vu.elementwise_cycles(per_device(*elements, d)))
         }
-        OpKind::Gather { tokens, hidden } => {
-            vu_time(arch, arch.vu.elementwise_cycles(per_device(tokens * hidden, d)))
-        }
+        OpKind::Gather { tokens, hidden } => vu_time(
+            arch,
+            arch.vu.elementwise_cycles(per_device(tokens * hidden, d)),
+        ),
     };
 
     let overhead = profile.op_overhead;
@@ -129,7 +151,13 @@ pub fn operator_latency(
         BoundKind::Compute
     };
 
-    OpLatency { compute, memory, overhead, bound, unit }
+    OpLatency {
+        compute,
+        memory,
+        overhead,
+        bound,
+        unit,
+    }
 }
 
 fn per_device(elements: u64, d: f64) -> u64 {
@@ -147,6 +175,7 @@ fn vu_time(arch: &Architecture, per_core_equiv: ador_units::Cycles) -> Seconds {
 /// (whole-model) dimensions; tensor parallelism shards the output dimension
 /// (weight ops) or the independent-GEMM count (attention heads), which this
 /// resolves before asking the fabric models.
+#[allow(clippy::too_many_arguments)] // one parameter per GEMM dimension
 fn matmul_rate(
     arch: &Architecture,
     unit: UnitChoice,
@@ -170,9 +199,7 @@ fn matmul_rate(
             arch.peak_flops().derated(eff) * sat
         }
         UnitChoice::MacTree => schedule::mt_effective_rate(arch, m, k, n, count).derated(eff),
-        UnitChoice::SystolicArray => {
-            schedule::sa_effective_rate(arch, m, k, n, count).derated(eff)
-        }
+        UnitChoice::SystolicArray => schedule::sa_effective_rate(arch, m, k, n, count).derated(eff),
         UnitChoice::Both => {
             let rates = schedule::fabric_rates(arch, m, k, n, count);
             rates.combined().derated(eff)
@@ -219,7 +246,13 @@ mod tests {
         let model = presets::llama3_8b();
         let arch = ador_table3();
         let op = weight_op(&model, Phase::decode(1, 512));
-        let lat = operator_latency(&arch, &op, Phase::decode(1, 512), Deployment::single_device(), big_step());
+        let lat = operator_latency(
+            &arch,
+            &op,
+            Phase::decode(1, 512),
+            Deployment::single_device(),
+            big_step(),
+        );
         assert_eq!(lat.bound, BoundKind::Memory);
         // 117 MB of fp16 weights at ≤1.8 TB/s effective: at least 65 µs.
         assert!(lat.total().as_micros() > 60.0, "{:?}", lat);
@@ -262,7 +295,13 @@ mod tests {
         let phase = Phase::decode(1, 128);
         let op = weight_op(&model, phase);
         let gpu = operator_latency(&a100(), &op, phase, Deployment::single_device(), STEP);
-        let npu = operator_latency(&ador_table3(), &op, phase, Deployment::single_device(), STEP);
+        let npu = operator_latency(
+            &ador_table3(),
+            &op,
+            phase,
+            Deployment::single_device(),
+            STEP,
+        );
         assert!(gpu.overhead > npu.overhead);
     }
 
@@ -273,7 +312,13 @@ mod tests {
         let phase = Phase::decode(16, 1024);
         let op = weight_op(&model, phase);
         let one = operator_latency(&arch, &op, phase, Deployment::single_device(), big_step());
-        let eight = operator_latency(&arch, &op, phase, Deployment::tensor_parallel(8), big_step());
+        let eight = operator_latency(
+            &arch,
+            &op,
+            phase,
+            Deployment::tensor_parallel(8),
+            big_step(),
+        );
         let ratio = one.total().get() / eight.total().get();
         assert!(ratio > 5.0, "TP-8 should cut the op ~8x, got {ratio:.2}");
     }
@@ -286,7 +331,13 @@ mod tests {
         let phase = Phase::decode(1, 128);
         let op = weight_op(&model, phase);
         let tpu = operator_latency(&tpuv4(), &op, phase, Deployment::single_device(), STEP);
-        let ador = operator_latency(&ador_table3(), &op, phase, Deployment::single_device(), STEP);
+        let ador = operator_latency(
+            &ador_table3(),
+            &op,
+            phase,
+            Deployment::single_device(),
+            STEP,
+        );
         assert!(tpu.total() > ador.total());
     }
 
@@ -299,7 +350,13 @@ mod tests {
             .into_iter()
             .find(|o| o.name == ador_model::OpName::AttnNorm)
             .unwrap();
-        let lat = operator_latency(&ador_table3(), &op, phase, Deployment::single_device(), STEP);
+        let lat = operator_latency(
+            &ador_table3(),
+            &op,
+            phase,
+            Deployment::single_device(),
+            STEP,
+        );
         assert!(lat.total().as_micros() < 10.0);
     }
 }

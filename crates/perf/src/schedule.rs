@@ -88,8 +88,16 @@ impl FabricRates {
 /// the NoC keeps up; the SRAM-capacity pressure of many-small-core designs
 /// is charged where it physically lands — the SRAM budget in
 /// `ador-search::size_memories` and the area model.
-pub fn sa_effective_rate(arch: &Architecture, m: usize, k: usize, n: usize, count: usize) -> FlopRate {
-    let Some(sa) = arch.sa else { return FlopRate::ZERO };
+pub fn sa_effective_rate(
+    arch: &Architecture,
+    m: usize,
+    k: usize,
+    n: usize,
+    count: usize,
+) -> FlopRate {
+    let Some(sa) = arch.sa else {
+        return FlopRate::ZERO;
+    };
     let instances = (arch.cores * arch.sa_per_core).max(1);
     let ideal_flops = 2.0 * (m as f64) * (k as f64) * (n as f64) * (count as f64);
 
@@ -110,8 +118,16 @@ pub fn sa_effective_rate(arch: &Architecture, m: usize, k: usize, n: usize, coun
 
 /// Achieved MAC-tree rate for the same shape: the per-core banks act as one
 /// wide bank (each core owns a slice of the output).
-pub fn mt_effective_rate(arch: &Architecture, m: usize, k: usize, n: usize, count: usize) -> FlopRate {
-    let Some(mt) = arch.mt else { return FlopRate::ZERO };
+pub fn mt_effective_rate(
+    arch: &Architecture,
+    m: usize,
+    k: usize,
+    n: usize,
+    count: usize,
+) -> FlopRate {
+    let Some(mt) = arch.mt else {
+        return FlopRate::ZERO;
+    };
     let bank = ador_hw::MacTree::new(mt.size(), mt.lanes() * arch.cores);
     let timing = bank.matmul_timing(m, k, n, count);
     let ideal_flops = 2.0 * (m as f64) * (k as f64) * (n as f64) * (count as f64);
@@ -119,7 +135,13 @@ pub fn mt_effective_rate(arch: &Architecture, m: usize, k: usize, n: usize, coun
 }
 
 /// Rates of both fabrics on one shape.
-pub fn fabric_rates(arch: &Architecture, m: usize, k: usize, n: usize, count: usize) -> FabricRates {
+pub fn fabric_rates(
+    arch: &Architecture,
+    m: usize,
+    k: usize,
+    n: usize,
+    count: usize,
+) -> FabricRates {
     FabricRates {
         sa: sa_effective_rate(arch, m, k, n, count),
         mt: mt_effective_rate(arch, m, k, n, count),
@@ -137,7 +159,9 @@ pub fn simt_saturation(m: usize) -> f64 {
 mod tests {
     use super::*;
     use ador_baselines::{a100, ador_table3};
-    fn a100_like() -> ador_hw::Architecture { a100() }
+    fn a100_like() -> ador_hw::Architecture {
+        a100()
+    }
     use ador_model::Phase;
 
     #[test]
@@ -151,7 +175,10 @@ mod tests {
     fn fig8_weight_matmuls_use_both_fabrics() {
         let arch = ador_table3();
         for phase in [Phase::decode(32, 1024), Phase::prefill(1, 1024)] {
-            assert_eq!(choose_unit(&arch, phase, OpClass::WeightMatMul), UnitChoice::Both);
+            assert_eq!(
+                choose_unit(&arch, phase, OpClass::WeightMatMul),
+                UnitChoice::Both
+            );
         }
     }
 
@@ -162,7 +189,10 @@ mod tests {
             choose_unit(&gpu, Phase::decode(1, 1), OpClass::WeightMatMul),
             UnitChoice::Fabric
         );
-        assert_eq!(choose_unit(&gpu, Phase::decode(1, 1), OpClass::Vector), UnitChoice::VectorUnit);
+        assert_eq!(
+            choose_unit(&gpu, Phase::decode(1, 1), OpClass::Vector),
+            UnitChoice::VectorUnit
+        );
     }
 
     #[test]

@@ -98,8 +98,15 @@ impl Workload {
     ///
     /// Panics if batch or sequence length is zero.
     pub fn new(model: ModelConfig, batch: usize, seq_len: usize) -> Self {
-        assert!(batch > 0 && seq_len > 0, "workload needs batch > 0 and seq_len > 0");
-        Self { model, batch, seq_len }
+        assert!(
+            batch > 0 && seq_len > 0,
+            "workload needs batch > 0 and seq_len > 0"
+        );
+        Self {
+            model,
+            batch,
+            seq_len,
+        }
     }
 
     /// Average decode-step work per device, for the bandwidth law.
@@ -168,7 +175,10 @@ mod tests {
         let mut v = VendorConstraints::a100_class();
         v.max_devices = 1;
         let w = Workload::new(presets::llama3_70b(), 64, 1024);
-        assert!(matches!(w.deployment(&v), Err(SearchError::DeploymentPlanning(_))));
+        assert!(matches!(
+            w.deployment(&v),
+            Err(SearchError::DeploymentPlanning(_))
+        ));
     }
 
     #[test]

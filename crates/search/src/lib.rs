@@ -44,8 +44,8 @@ mod report;
 mod sizing;
 
 pub use constraints::{SearchInput, UserRequirements, VendorConstraints, Workload};
-pub use pareto::{pareto_frontier, ParetoPoint};
 pub use interconnect::{solve_noc_bandwidth, solve_p2p_bandwidth};
+pub use pareto::{pareto_frontier, ParetoPoint};
 pub use report::{SearchError, SearchOutcome, SearchStep};
 pub use sizing::{mt_candidates, sa_candidates, size_memories};
 
@@ -98,7 +98,9 @@ pub fn search(input: &SearchInput) -> Result<SearchOutcome, SearchError> {
                 let Ok(eval) = Evaluator::new(&candidate, &workload.model, deployment) else {
                     continue;
                 };
-                let Ok(ttft) = eval.ttft(1, workload.seq_len) else { continue };
+                let Ok(ttft) = eval.ttft(1, workload.seq_len) else {
+                    continue;
+                };
                 let Ok(tbt) = eval.decode_interval(workload.batch, workload.seq_len) else {
                     continue;
                 };
@@ -181,7 +183,10 @@ fn build_candidate(
     .mac_tree(mt)
     .local_memory(local)
     .global_memory(global)
-    .dram(ador_hw::memory::DramSpec::hbm2e(vendor.memory_capacity, vendor.memory_bandwidth))
+    .dram(ador_hw::memory::DramSpec::hbm2e(
+        vendor.memory_capacity,
+        vendor.memory_bandwidth,
+    ))
     .frequency(vendor.frequency)
     .process(vendor.process)
     .build()
@@ -263,7 +268,9 @@ mod tests {
         let a100 = ador_baselines::a100();
         let model = &input.workload.model;
         let gpu = Evaluator::new(&a100, model, outcome.deployment).unwrap();
-        let gpu_tbt = gpu.decode_interval(input.workload.batch, input.workload.seq_len).unwrap();
+        let gpu_tbt = gpu
+            .decode_interval(input.workload.batch, input.workload.seq_len)
+            .unwrap();
         assert!(
             outcome.tbt < gpu_tbt,
             "search result {} should beat the A100's {}",
@@ -276,7 +283,8 @@ mod tests {
     fn tighter_area_budget_shrinks_the_die() {
         let mut input = a100_class_input();
         let spacious = search(&input).unwrap();
-        input.vendor.area_budget = ador_units::Area::from_mm2(spacious.area.total().as_mm2() * 0.85);
+        input.vendor.area_budget =
+            ador_units::Area::from_mm2(spacious.area.total().as_mm2() * 0.85);
         // Relax QoS so a smaller design can still qualify.
         input.user.tbt_max = Seconds::from_millis(60.0);
         input.user.ttft_max = Seconds::from_millis(200.0);
@@ -291,13 +299,21 @@ mod tests {
         let outcome = search(&input).unwrap();
         assert!(!outcome.satisfied);
         assert!(!outcome.notes.is_empty());
-        assert!(outcome.notes.iter().any(|n| n.contains("TBT")), "{:?}", outcome.notes);
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("TBT")),
+            "{:?}",
+            outcome.notes
+        );
     }
 
     #[test]
     fn search_logs_candidate_steps() {
         let outcome = search(&a100_class_input()).unwrap();
-        assert!(outcome.steps.len() > 10, "expected a real sweep, got {}", outcome.steps.len());
+        assert!(
+            outcome.steps.len() > 10,
+            "expected a real sweep, got {}",
+            outcome.steps.len()
+        );
     }
 
     #[test]
@@ -308,6 +324,10 @@ mod tests {
             workload: Workload::new(presets::llama3_70b(), 128, 1024),
         };
         let outcome = search(&input).unwrap();
-        assert!(outcome.deployment.devices >= 2, "{}", outcome.deployment.devices);
+        assert!(
+            outcome.deployment.devices >= 2,
+            "{}",
+            outcome.deployment.devices
+        );
     }
 }

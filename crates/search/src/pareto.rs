@@ -26,8 +26,7 @@ pub struct ParetoPoint {
 impl ParetoPoint {
     fn dominates(&self, other: &Self) -> bool {
         let no_worse = self.area <= other.area && self.ttft <= other.ttft && self.tbt <= other.tbt;
-        let better =
-            self.area < other.area || self.ttft < other.ttft || self.tbt < other.tbt;
+        let better = self.area < other.area || self.ttft < other.ttft || self.tbt < other.tbt;
         no_worse && better
     }
 }

@@ -57,7 +57,11 @@ impl fmt::Display for SearchOutcome {
             "QoS: TTFT {} / TBT {} ({})",
             self.ttft,
             self.tbt,
-            if self.satisfied { "meets SLA" } else { "misses SLA" }
+            if self.satisfied {
+                "meets SLA"
+            } else {
+                "misses SLA"
+            }
         )?;
         for note in &self.notes {
             writeln!(f, "note: {note}")?;

@@ -31,7 +31,10 @@ pub fn mt_candidates(vendor: &VendorConstraints, workload: &Workload) -> Vec<Mac
 /// Systolic-array candidates: square arrays in multiples of 32 (§V-A:
 /// "configurations are tested in multiples of 32").
 pub fn sa_candidates() -> Vec<SystolicArray> {
-    [32usize, 64, 96, 128].iter().map(|&d| SystolicArray::square(d)).collect()
+    [32usize, 64, 96, 128]
+        .iter()
+        .map(|&d| SystolicArray::square(d))
+        .collect()
 }
 
 /// Step 1c (§V-B): local memory from the activation-usage simulator, global
@@ -92,7 +95,11 @@ mod tests {
         let gqa = Workload::new(presets::llama3_8b(), 128, 1024);
         let mqa = Workload::new(presets::falcon_7b(), 128, 1024);
         let max_lanes = |w: &Workload| {
-            mt_candidates(&vendor(), w).iter().map(|m| m.lanes()).max().unwrap()
+            mt_candidates(&vendor(), w)
+                .iter()
+                .map(|m| m.lanes())
+                .max()
+                .unwrap()
         };
         assert!(max_lanes(&mqa) > max_lanes(&gqa));
     }

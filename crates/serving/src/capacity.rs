@@ -54,7 +54,10 @@ pub fn max_capacity(
     (lo, hi): (f64, f64),
     iterations: usize,
 ) -> Result<CapacityResult, SimError> {
-    assert!(lo > 0.0 && hi > lo, "capacity bounds must satisfy 0 < lo < hi");
+    assert!(
+        lo > 0.0 && hi > lo,
+        "capacity bounds must satisfy 0 < lo < hi"
+    );
     let run = |rate: f64| -> Result<QosReport, SimError> {
         let cfg = base_cfg.with_arrival_rate(rate);
         ServingSim::new(arch, model, deployment, cfg)?.run(profile)
@@ -62,7 +65,10 @@ pub fn max_capacity(
 
     let lo_report = run(lo)?;
     if !slo.attained(&lo_report) {
-        return Ok(CapacityResult { rate: 0.0, report: lo_report });
+        return Ok(CapacityResult {
+            rate: 0.0,
+            report: lo_report,
+        });
     }
 
     let mut best_rate = lo;
@@ -79,7 +85,10 @@ pub fn max_capacity(
             hi = mid;
         }
     }
-    Ok(CapacityResult { rate: best_rate, report: best_report })
+    Ok(CapacityResult {
+        rate: best_rate,
+        report: best_report,
+    })
 }
 
 #[cfg(test)]
@@ -116,6 +125,16 @@ mod tests {
             relaxed.rate
         );
         assert!(relaxed.rate > 1.0, "{:.2}", relaxed.rate);
+    }
+
+    #[test]
+    fn capacity_search_is_deterministic() {
+        // The bisection replays the same seeded trace at every probe rate,
+        // so the whole search is a pure function of its inputs.
+        let a = capacity(Slo::strict());
+        let b = capacity(Slo::strict());
+        assert_eq!(a.rate, b.rate);
+        assert_eq!(a.report, b.report);
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
         let reqs = RequestGenerator::new(10.0, TraceProfile::short_chat(), 5).take(5000);
         let span = reqs.last().unwrap().arrival.get();
         let measured = reqs.len() as f64 / span;
-        assert!((measured - 10.0).abs() < 1.0, "measured {measured:.2} req/s");
+        assert!(
+            (measured - 10.0).abs() < 1.0,
+            "measured {measured:.2} req/s"
+        );
     }
 
     #[test]

@@ -27,7 +27,10 @@ impl LatencyStats {
     ///
     /// Panics if `samples` is empty.
     pub fn from_samples(samples: &[Seconds]) -> Self {
-        assert!(!samples.is_empty(), "cannot summarize an empty latency population");
+        assert!(
+            !samples.is_empty(),
+            "cannot summarize an empty latency population"
+        );
         let mut sorted: Vec<Seconds> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
         let pick = |q: f64| {
@@ -35,7 +38,13 @@ impl LatencyStats {
             sorted[idx]
         };
         let mean = sorted.iter().copied().sum::<Seconds>() / sorted.len() as f64;
-        Self { mean, p50: pick(0.50), p95: pick(0.95), p99: pick(0.99), max: *sorted.last().unwrap() }
+        Self {
+            mean,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: *sorted.last().unwrap(),
+        }
     }
 }
 

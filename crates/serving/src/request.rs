@@ -27,7 +27,12 @@ impl Request {
             input_tokens > 0 && output_tokens > 0,
             "requests must have at least one input and output token"
         );
-        Self { id, arrival, input_tokens, output_tokens }
+        Self {
+            id,
+            arrival,
+            input_tokens,
+            output_tokens,
+        }
     }
 
     /// Total KV-cache tokens this request will eventually hold.

@@ -88,7 +88,10 @@ impl fmt::Display for SimError {
             SimError::Perf(e) => write!(f, "performance model error: {e}"),
             SimError::EmptyConfig => write!(f, "simulation admits no requests"),
             SimError::NoKvHeadroom { budget_tokens } => {
-                write!(f, "KV budget of {budget_tokens} tokens cannot hold a single request")
+                write!(
+                    f,
+                    "KV budget of {budget_tokens} tokens cannot hold a single request"
+                )
             }
         }
     }
@@ -152,11 +155,7 @@ impl<'a> ServingSim<'a> {
         let evaluator = Evaluator::new(arch, model, deployment)?;
         let devices = deployment.devices as u64;
         let weights_per_dev = model.weight_bytes().get() / devices;
-        let available = arch
-            .dram
-            .capacity
-            .get()
-            .saturating_sub(weights_per_dev) as f64
+        let available = arch.dram.capacity.get().saturating_sub(weights_per_dev) as f64
             * cfg.kv_memory_fraction;
         let kv_per_token_per_dev = model.kv_bytes_per_token().get() as f64 / devices as f64;
         let budget_tokens = (available / kv_per_token_per_dev) as usize;
@@ -218,8 +217,8 @@ impl<'a> ServingSim<'a> {
             while let Some(w) = waiting.front() {
                 let slot_ok = running.len() + admitted.len() < self.cfg.max_batch;
                 let kv_ok = kv_tokens_in_use + w.total_tokens() <= self.kv_budget_tokens;
-                let chunk_ok =
-                    admitted.is_empty() || prefill_tokens + w.input_tokens <= self.cfg.prefill_chunk;
+                let chunk_ok = admitted.is_empty()
+                    || prefill_tokens + w.input_tokens <= self.cfg.prefill_chunk;
                 if !(slot_ok && kv_ok && chunk_ok) {
                     break;
                 }
@@ -289,8 +288,14 @@ impl<'a> ServingSim<'a> {
             }
         }
 
-        let mean_batch = if steps == 0 { 0.0 } else { batch_samples / steps as f64 };
-        Ok(QosReport::from_outcomes(&outcomes, now, mean_batch, peak_batch))
+        let mean_batch = if steps == 0 {
+            0.0
+        } else {
+            batch_samples / steps as f64
+        };
+        Ok(QosReport::from_outcomes(
+            &outcomes, now, mean_batch, peak_batch,
+        ))
     }
 
     fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
@@ -349,7 +354,9 @@ mod tests {
     fn run(rate: f64, requests: usize, seed: u64) -> QosReport {
         let arch = ador_table3();
         let model = presets::llama3_8b();
-        let cfg = SimConfig::new(rate, 64).with_requests(requests).with_seed(seed);
+        let cfg = SimConfig::new(rate, 64)
+            .with_requests(requests)
+            .with_seed(seed);
         ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
             .unwrap()
             .run(TraceProfile::ultrachat_like())
@@ -368,6 +375,35 @@ mod tests {
         let a = run(2.0, 30, 9);
         let b = run(2.0, 30, 9);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_actually_reaches_the_trace() {
+        // Guards against a config plumbing regression where the seed is
+        // dropped and every run sees the same arrivals: distinct seeds must
+        // produce distinct workloads (and therefore distinct reports).
+        let a = run(2.0, 30, 9);
+        let c = run(2.0, 30, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn determinism_survives_config_reuse() {
+        // `SimConfig` is `Copy`; reusing one value across several sims (as
+        // the capacity bisection does) must not thread RNG state between
+        // runs.
+        let cfg = SimConfig::new(3.0, 64).with_requests(25).with_seed(21);
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let go = || {
+            ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(TraceProfile::ultrachat_like())
+                .unwrap()
+        };
+        let first = go();
+        let second = go();
+        assert_eq!(first, second);
     }
 
     #[test]
@@ -415,7 +451,11 @@ mod tests {
         )
         .unwrap();
         // 80 GiB − 16 GB of weights leaves room for ~450 K tokens at 128 KiB.
-        assert!(sim.kv_budget_tokens() > 300_000, "{}", sim.kv_budget_tokens());
+        assert!(
+            sim.kv_budget_tokens() > 300_000,
+            "{}",
+            sim.kv_budget_tokens()
+        );
     }
 
     #[test]
@@ -443,7 +483,10 @@ mod tests {
             SimConfig::new(1.0, 16),
         )
         .unwrap_err();
-        assert!(matches!(err, SimError::Perf(PerfError::ModelTooLarge { .. })));
+        assert!(matches!(
+            err,
+            SimError::Perf(PerfError::ModelTooLarge { .. })
+        ));
     }
 
     use ador_hw::Architecture;

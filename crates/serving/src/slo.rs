@@ -29,17 +29,26 @@ pub struct Slo {
 impl Slo {
     /// The paper's strict chatbot SLO: 25 ms TBT.
     pub fn strict() -> Self {
-        Self { ttft_max: Some(Seconds::from_millis(2000.0)), tbt_max: Some(Seconds::from_millis(25.0)) }
+        Self {
+            ttft_max: Some(Seconds::from_millis(2000.0)),
+            tbt_max: Some(Seconds::from_millis(25.0)),
+        }
     }
 
     /// The paper's relaxed SLO: 50 ms TBT.
     pub fn relaxed() -> Self {
-        Self { ttft_max: Some(Seconds::from_millis(4000.0)), tbt_max: Some(Seconds::from_millis(50.0)) }
+        Self {
+            ttft_max: Some(Seconds::from_millis(4000.0)),
+            tbt_max: Some(Seconds::from_millis(50.0)),
+        }
     }
 
     /// An SLO bounding only TBT (the Fig. 16 sweep axis).
     pub fn tbt_only(tbt: Seconds) -> Self {
-        Self { ttft_max: None, tbt_max: Some(tbt) }
+        Self {
+            ttft_max: None,
+            tbt_max: Some(tbt),
+        }
     }
 
     /// Whether `report` meets this SLO at the 95th percentile.
@@ -58,7 +67,13 @@ mod tests {
     fn report(ttft_ms: f64, tbt_ms: f64) -> QosReport {
         let stat = |ms: f64| {
             let s = Seconds::from_millis(ms);
-            LatencyStats { mean: s, p50: s, p95: s, p99: s, max: s }
+            LatencyStats {
+                mean: s,
+                p50: s,
+                p95: s,
+                p99: s,
+                max: s,
+            }
         };
         QosReport {
             completed: 10,

@@ -116,6 +116,10 @@ mod tests {
     fn goodput_near_one_below_saturation() {
         let pts = sweep();
         // Completed/offered within the horizon at light load.
-        assert!((0.5..=1.5).contains(&pts[0].goodput_ratio()), "{}", pts[0].goodput_ratio());
+        assert!(
+            (0.5..=1.5).contains(&pts[0].goodput_ratio()),
+            "{}",
+            pts[0].goodput_ratio()
+        );
     }
 }

@@ -112,8 +112,12 @@ mod tests {
     fn ultrachat_medians_match_calibration() {
         let profile = TraceProfile::ultrachat_like();
         let mut rng = StdRng::seed_from_u64(42);
-        let mut inputs: Vec<usize> = (0..20_000).map(|_| profile.sample_input(&mut rng)).collect();
-        let mut outputs: Vec<usize> = (0..20_000).map(|_| profile.sample_output(&mut rng)).collect();
+        let mut inputs: Vec<usize> = (0..20_000)
+            .map(|_| profile.sample_input(&mut rng))
+            .collect();
+        let mut outputs: Vec<usize> = (0..20_000)
+            .map(|_| profile.sample_output(&mut rng))
+            .collect();
         let (in_med, in_mean) = summarize(&mut inputs);
         let (out_med, _) = summarize(&mut outputs);
         assert!((280..=380).contains(&in_med), "input median {in_med}");

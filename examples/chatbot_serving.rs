@@ -18,8 +18,8 @@ fn qos_at_rates(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorE
     println!("rate(req/s) | TTFT p95 | TBT p95 | mean batch | tok/s");
     for rate in [2.0, 5.0, 10.0, 20.0] {
         let cfg = SimConfig::new(rate, 128).with_requests(120).with_seed(7);
-        let report = ServingSim::new(&arch, model, deployment, cfg)?
-            .run(TraceProfile::ultrachat_like())?;
+        let report =
+            ServingSim::new(&arch, model, deployment, cfg)?.run(TraceProfile::ultrachat_like())?;
         println!(
             "{rate:>10.1} | {:>8} | {:>7} | {:>10.1} | {:>6.0}",
             format!("{}", report.ttft.p95),
@@ -34,7 +34,10 @@ fn qos_at_rates(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorE
 fn capacity(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError> {
     let arch = ador::baselines::ador_table3();
     let base = SimConfig::new(1.0, 128).with_requests(120).with_seed(11);
-    for (label, slo) in [("strict (25 ms TBT)", Slo::strict()), ("relaxed (50 ms TBT)", Slo::relaxed())] {
+    for (label, slo) in [
+        ("strict (25 ms TBT)", Slo::strict()),
+        ("relaxed (50 ms TBT)", Slo::relaxed()),
+    ] {
         let cap = max_capacity(
             &arch,
             model,

@@ -12,7 +12,10 @@ use ador::model::presets;
 use ador::perf::{Deployment, Evaluator};
 
 fn main() {
-    let batch: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(64);
+    let batch: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
     let model = presets::llama3_8b();
     let seq = 1024;
     let area_model = AreaModel::default();

@@ -19,7 +19,10 @@ fn build(name: &str, sa_dim: usize, mt_lanes: usize, cores: usize) -> Architectu
         .cores(cores)
         .local_memory(Bytes::from_kib(2048))
         .global_memory(Bytes::from_mib(16))
-        .dram(DramSpec::hbm2e(Bytes::from_gib(80), Bandwidth::from_tbps(2.0)))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
         .p2p_bandwidth(Bandwidth::from_gbps(64.0))
         .frequency(Frequency::from_mhz(1500.0));
     if sa_dim > 0 {
@@ -56,7 +59,9 @@ fn main() {
         let eval = Evaluator::new(arch, &model, Deployment::single_device())
             .expect("model fits one device");
         let ttft = eval.ttft(1, seq).expect("prefill evaluates");
-        let step = eval.step(ador::model::Phase::prefill(1, seq)).expect("step");
+        let step = eval
+            .step(ador::model::Phase::prefill(1, seq))
+            .expect("step");
         let tbt = eval.decode_interval(batch, seq).expect("decode evaluates");
         let achieved = step.flops_per_device.get() / step.total.get() / 1e12;
         let die = area_model.estimate(arch).total();

@@ -26,8 +26,12 @@ fn blocks() -> (BlockWorkload, BlockWorkload) {
     let seq = 1024;
     // One layer has two Megatron-fusable blocks; compute window at TP=1 is
     // approximated as 8x the per-device step share.
-    let decode_step = eval.step(ador::model::Phase::decode(batch, seq)).expect("decode");
-    let prefill_step = eval.step(ador::model::Phase::prefill(1, seq)).expect("prefill");
+    let decode_step = eval
+        .step(ador::model::Phase::decode(batch, seq))
+        .expect("decode");
+    let prefill_step = eval
+        .step(ador::model::Phase::prefill(1, seq))
+        .expect("prefill");
     let layers = model.layers as f64;
     let msg_decode = Bytes::new((batch * model.hidden) as u64 * 2);
     let msg_prefill = Bytes::new((seq * model.hidden) as u64 * 2);
@@ -43,11 +47,19 @@ fn main() {
     let devices = [1usize, 2, 4, 8, 16];
 
     println!("=== Fig. 13a: TP strategy scalability (decode blocks, 128 GB/s P2P) ===");
-    println!("{:>8} | {:>10} | {:>10} | {:>10}", "devices", "all-gather", "all-reduce", "megatron");
+    println!(
+        "{:>8} | {:>10} | {:>10} | {:>10}",
+        "devices", "all-gather", "all-reduce", "megatron"
+    );
     let link = P2pLink::new(Bandwidth::from_gbps(128.0));
     let curves: Vec<Vec<f64>> = SyncStrategy::all()
         .iter()
-        .map(|&s| tp_sweep(decode, s, link, &devices).into_iter().map(|p| p.speedup).collect())
+        .map(|&s| {
+            tp_sweep(decode, s, link, &devices)
+                .into_iter()
+                .map(|p| p.speedup)
+                .collect()
+        })
         .collect();
     for (i, &n) in devices.iter().enumerate() {
         println!(
@@ -58,11 +70,18 @@ fn main() {
 
     println!("\n=== Fig. 13b: speedup at TP=8 vs P2P bandwidth ===");
     let bandwidths = [16.0, 32.0, 64.0, 128.0];
-    println!("{:>12} | {:>8} | {:>8} | {:>11}", "P2P (GB/s)", "prefill", "decode", "continuous");
-    let sweeps: Vec<Vec<(f64, f64)>> = [WorkloadMix::Prefill, WorkloadMix::Decode, WorkloadMix::Continuous]
-        .iter()
-        .map(|&mix| p2p_sweep(prefill, decode, mix, 8, &bandwidths))
-        .collect();
+    println!(
+        "{:>12} | {:>8} | {:>8} | {:>11}",
+        "P2P (GB/s)", "prefill", "decode", "continuous"
+    );
+    let sweeps: Vec<Vec<(f64, f64)>> = [
+        WorkloadMix::Prefill,
+        WorkloadMix::Decode,
+        WorkloadMix::Continuous,
+    ]
+    .iter()
+    .map(|&mix| p2p_sweep(prefill, decode, mix, 8, &bandwidths))
+    .collect();
     for (i, &bw) in bandwidths.iter().enumerate() {
         println!(
             "{bw:>12.0} | {:>8.2} | {:>8.2} | {:>11.2}",

@@ -27,8 +27,14 @@ fn main() -> Result<(), AdorError> {
     let a100 = baselines::a100();
     let cmp = session.compare(&outcome.architecture, &a100)?;
     println!("\n=== vs. NVIDIA A100 at batch 128 / seq 1024 ===");
-    println!("TTFT: {} vs {} ({:.2}x better)", cmp.ttft_a, cmp.ttft_b, cmp.ttft_ratio);
-    println!("TBT : {} vs {} ({:.2}x better)", cmp.tbt_a, cmp.tbt_b, cmp.tbt_ratio);
+    println!(
+        "TTFT: {} vs {} ({:.2}x better)",
+        cmp.ttft_a, cmp.ttft_b, cmp.ttft_ratio
+    );
+    println!(
+        "TBT : {} vs {} ({:.2}x better)",
+        cmp.tbt_a, cmp.tbt_b, cmp.tbt_ratio
+    );
 
     let area_ratio = 826.0 / outcome.area.total().as_mm2();
     println!(
@@ -47,6 +53,9 @@ fn main() -> Result<(), AdorError> {
         "completed {} requests; TTFT p95 {}; TBT p95 {}; {:.1} tok/s",
         report.completed, report.ttft.p95, report.tbt.p95, report.tokens_per_sec
     );
-    println!("SLO (relaxed) attained: {}", Slo::relaxed().attained(&report));
+    println!(
+        "SLO (relaxed) attained: {}",
+        Slo::relaxed().attained(&report)
+    );
     Ok(())
 }

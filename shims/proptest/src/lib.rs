@@ -1,0 +1,321 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the ADOR test suites use:
+//! the `proptest!` block macro (with `#![proptest_config(...)]` and
+//! doc-commented `#[test]` functions), `prop_assert!` / `prop_assert_eq!`,
+//! `ProptestConfig::with_cases`, and range strategies (`lo..hi`,
+//! `lo..=hi`) over integers and floats. Inputs are drawn from a SplitMix64
+//! stream seeded by the test name and case index, so every run of a given
+//! test binary sees the same cases (no flakes, no persistence files).
+//!
+//! Deliberately omitted relative to the real crate: shrinking (failures
+//! report the raw inputs instead), `any::<T>()`, combinators, and
+//! collection strategies — none are used in-tree. The workspace
+//! `[patch.crates-io]` table is the switch point for the real crate.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — smaller than the real proptest's 256, since the shim
+    /// does not shrink and ADOR's properties are CPU-heavy analytical
+    /// evaluations.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A failed property-test case (mirrors `proptest::test_runner::TestCaseError`).
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure carrying `reason`.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic input stream for one property (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Stream seeded from the property name and case index, so case `i` of
+    /// a given test is identical on every run.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            state: h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type (mirrors `proptest::strategy::Strategy`
+/// far enough for range-literal strategies).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value: fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let draw = if span == 0 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
+                (lo as u128).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Collection strategies (mirrors `proptest::collection`).
+pub mod collection {
+    use std::ops::{Range, RangeInclusive};
+
+    use super::{Strategy, TestRng};
+
+    /// Half-open length window for collection strategies (mirrors
+    /// `proptest::collection::SizeRange`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: r.end().saturating_add(1),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s with sampled length and elements.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A `Vec` strategy: length drawn from `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            len: len.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = Strategy::sample(&(self.len.lo..self.len.hi), rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs the body over `cases` sampled inputs.
+///
+/// Failures panic with the offending inputs (no shrinking in this shim).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    (@munch ($cfg:expr); ) => {};
+    (@munch ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "property `{}` failed at case {}/{}: {}\n  inputs:{}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        err,
+                        ::std::string::String::new()
+                            $(+ &format!(" {} = {:?}", stringify!($arg), $arg))*,
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@munch ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure aborts only the current case
+/// with a formatted reason.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// One-stop imports (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5f64..=2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..=2.5).contains(&y), "y out of range: {y}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u32..10) {
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = Strategy::sample(&(0u64..1000), &mut TestRng::for_case("t", 3));
+        let b = Strategy::sample(&(0u64..1000), &mut TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    use crate::TestRng;
+}

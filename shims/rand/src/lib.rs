@@ -1,0 +1,198 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Mirrors the small slice of the `rand` API that the ADOR serving
+//! simulator uses — `SeedableRng::seed_from_u64`, `Rng::gen_range` over
+//! float and integer ranges, and `rngs::StdRng` — backed by the SplitMix64
+//! generator (Steele, Lea & Flood, OOPSLA'14). SplitMix64 passes BigCrush
+//! and is fully deterministic from its 64-bit seed, which is all the
+//! Poisson/log-normal trace generators require. The workspace
+//! `[patch.crates-io]` table is the switch point for the real crate.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed. Identical seeds produce
+    /// identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one value from `self` using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+    /// True when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+}
+
+/// User-facing convenience methods, blanket-implemented for every core
+/// generator (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        assert!(!range.is_empty_range(), "cannot sample empty range");
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        // `partial_cmp` keeps NaN endpoints classified as empty.
+        self.start.partial_cmp(&self.end) != Some(std::cmp::Ordering::Less)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        // Sampling the closed interval via the half-open one loses only the
+        // single point `hi`, which has measure zero for f64 test purposes.
+        lo + unit_f64(rng) * (hi - lo)
+    }
+
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as u128).wrapping_add(draw) as $t
+            }
+
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                let draw = if span == 0 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() as u128) % span
+                };
+                (lo as u128).wrapping_add(draw) as $t
+            }
+
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Concrete generators (mirrors `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Not the ChaCha12 generator the real `rand` uses, but the ADOR
+    /// simulator only requires determinism-under-seed and good uniformity,
+    /// both of which SplitMix64 provides.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            Self { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+            let y = rng.gen_range(0.0..=1.0);
+            assert!((0.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_interval_mean_is_centred() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_and_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            let k = rng.gen_range(0usize..8);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

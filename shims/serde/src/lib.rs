@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds in a sandbox with no crates.io access, so the real
+//! `serde` cannot be fetched. ADOR currently uses `Serialize` /
+//! `Deserialize` purely as derive markers on config/report types — nothing
+//! serializes at runtime — so this shim provides the two traits with
+//! blanket impls plus the no-op derives from `serde_derive`. The
+//! `[patch.crates-io]` table in the workspace root is the single switch
+//! point for swapping in the real crate.
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// Blanket-implemented for every type so that `T: Serialize` bounds hold;
+/// the no-op derive therefore does not need to emit an impl.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+///
+/// Blanket-implemented for every type, matching the no-op derive.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `DeserializeOwned` imports.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}

@@ -1,0 +1,23 @@
+//! No-op derive macros standing in for `serde_derive` in offline builds.
+//!
+//! The ADOR workspace builds without network access, so the real
+//! `serde_derive` cannot be fetched. ADOR only uses `Serialize` /
+//! `Deserialize` as inert markers on config and report types (nothing in
+//! the workspace serializes at runtime yet), so these derives expand to
+//! nothing; the traits in the sibling `serde` shim carry blanket impls.
+//! Swapping in the real serde is a one-line change in the workspace
+//! `[patch.crates-io]` table.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts (and ignores) `#[serde(...)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

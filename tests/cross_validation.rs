@@ -16,7 +16,10 @@ fn cross_validate(
     let program = lower(arch, model, phase, deployment);
     let step_flops = StepSummary::compute(model, phase).flops * (1.0 / deployment.devices as f64);
     let exec = CycleExecutor::new(arch, deployment, phase, step_flops).run(&program);
-    let analytical = Evaluator::new(arch, model, deployment).unwrap().step(phase).unwrap();
+    let analytical = Evaluator::new(arch, model, deployment)
+        .unwrap()
+        .step(phase)
+        .unwrap();
     (exec.total.get(), analytical.total.get())
 }
 
@@ -25,7 +28,11 @@ fn cross_validate(
 #[test]
 fn executor_agrees_across_the_zoo() {
     let model = presets::llama3_8b();
-    let phases = [Phase::decode(16, 512), Phase::decode(96, 2048), Phase::prefill(2, 1024)];
+    let phases = [
+        Phase::decode(16, 512),
+        Phase::decode(96, 2048),
+        Phase::prefill(2, 1024),
+    ];
     for arch in [
         baselines::ador_table3(),
         baselines::a100(),
@@ -33,9 +40,14 @@ fn executor_agrees_across_the_zoo() {
         baselines::llmcompass_t(),
     ] {
         for phase in phases {
-            let (exec, analytical) = cross_validate(&arch, &model, phase, Deployment::single_device());
+            let (exec, analytical) =
+                cross_validate(&arch, &model, phase, Deployment::single_device());
             let rel = (exec - analytical).abs() / analytical;
-            assert!(rel < 0.05, "{} {phase}: {exec:.5} vs {analytical:.5}", arch.name);
+            assert!(
+                rel < 0.05,
+                "{} {phase}: {exec:.5} vs {analytical:.5}",
+                arch.name
+            );
         }
     }
 }
@@ -46,9 +58,13 @@ fn executor_agrees_multi_device() {
     let model = presets::llama3_70b();
     let arch = baselines::ador_table3();
     for phase in [Phase::decode(32, 1024), Phase::prefill(1, 512)] {
-        let (exec, analytical) = cross_validate(&arch, &model, phase, Deployment::tensor_parallel(8));
+        let (exec, analytical) =
+            cross_validate(&arch, &model, phase, Deployment::tensor_parallel(8));
         let rel = (exec - analytical).abs() / analytical;
-        assert!(rel < 0.05, "{phase}: {exec:.5} vs {analytical:.5} (rel {rel:.3})");
+        assert!(
+            rel < 0.05,
+            "{phase}: {exec:.5} vs {analytical:.5} (rel {rel:.3})"
+        );
     }
 }
 

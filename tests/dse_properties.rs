@@ -68,7 +68,10 @@ fn hopeless_budget_is_an_error() {
     let mut input = base_input();
     input.vendor.area_budget = Area::from_mm2(250.0); // below system+PHY floor
     let err = ador::search::search(&input).unwrap_err();
-    assert!(matches!(err, ador::search::SearchError::NoFeasibleCandidate { .. }));
+    assert!(matches!(
+        err,
+        ador::search::SearchError::NoFeasibleCandidate { .. }
+    ));
 }
 
 /// An unsatisfiable SLA still returns the best effort plus feedback notes
@@ -79,7 +82,11 @@ fn feedback_path_engages() {
     input.user.ttft_max = Seconds::from_micros(50.0);
     let outcome = ador::search::search(&input).unwrap();
     assert!(!outcome.satisfied);
-    assert!(outcome.notes.iter().any(|n| n.contains("TTFT")), "{:?}", outcome.notes);
+    assert!(
+        outcome.notes.iter().any(|n| n.contains("TTFT")),
+        "{:?}",
+        outcome.notes
+    );
 }
 
 /// The search outcome is reproducible (pure function of its input).

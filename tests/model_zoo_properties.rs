@@ -30,13 +30,24 @@ fn zoo_times_registry_grid() {
             } else {
                 Deployment::tensor_parallel(devices)
             };
-            let Ok(eval) = Evaluator::new(&arch, &model, deployment) else { continue };
-            let Ok(decode) = eval.decode_interval(4, 256) else { continue };
+            let Ok(eval) = Evaluator::new(&arch, &model, deployment) else {
+                continue;
+            };
+            let Ok(decode) = eval.decode_interval(4, 256) else {
+                continue;
+            };
             // A long-enough prompt always out-costs one decode step; short
             // prompts can legitimately undercut a full weight stream on
             // compute-rich GPUs.
-            let Ok(prefill) = eval.ttft(1, 2048.min(model.max_seq_len)) else { continue };
-            assert!(decode.get() > 0.0 && decode.get() < 10.0, "{}/{}: {decode}", arch.name, model.name);
+            let Ok(prefill) = eval.ttft(1, 2048.min(model.max_seq_len)) else {
+                continue;
+            };
+            assert!(
+                decode.get() > 0.0 && decode.get() < 10.0,
+                "{}/{}: {decode}",
+                arch.name,
+                model.name
+            );
             assert!(prefill > decode, "{}/{}", arch.name, model.name);
             evaluated += 1;
         }
@@ -50,7 +61,11 @@ fn zoo_times_registry_grid() {
 /// stream everywhere.
 #[test]
 fn int8_halves_weight_traffic() {
-    for mut model in [presets::llama3_8b(), presets::falcon_7b(), presets::qwen2_7b()] {
+    for mut model in [
+        presets::llama3_8b(),
+        presets::falcon_7b(),
+        presets::qwen2_7b(),
+    ] {
         let fp16 = model.weight_bytes();
         let fp16_stream = StepSummary::compute(&model, Phase::decode(8, 512)).weight_bytes;
         model.dtype = DataType::I8;
@@ -88,11 +103,19 @@ fn decode_sits_left_of_the_ridge() {
 #[test]
 fn power_envelopes_hold_across_designs() {
     let model = PowerModel::default();
-    for arch in [baselines::ador_table3(), baselines::llmcompass_l(), baselines::llmcompass_t()] {
+    for arch in [
+        baselines::ador_table3(),
+        baselines::llmcompass_l(),
+        baselines::llmcompass_t(),
+    ] {
         let peak = model.estimate(&arch, OperatingPoint::peak()).total();
         assert!(peak.as_watts() < 800.0, "{}: {peak}", arch.name);
-        let decode = model.estimate(&arch, OperatingPoint::decode_typical()).total();
-        let prefill = model.estimate(&arch, OperatingPoint::prefill_typical()).total();
+        let decode = model
+            .estimate(&arch, OperatingPoint::decode_typical())
+            .total();
+        let prefill = model
+            .estimate(&arch, OperatingPoint::prefill_typical())
+            .total();
         assert!(decode < prefill, "{}", arch.name);
     }
 }

@@ -21,7 +21,10 @@ fn fig15a_tbt_ordering() {
     let a100 = tbt(&baselines::a100());
     let l = tbt(&baselines::llmcompass_l());
     let t = tbt(&baselines::llmcompass_t());
-    assert!(ador_design < l && l < a100 && a100 < t, "{ador_design} {l} {a100} {t}");
+    assert!(
+        ador_design < l && l < a100 && a100 < t,
+        "{ador_design} {l} {a100} {t}"
+    );
 }
 
 /// Fig. 15 headline: ADOR's TBT advantage over the A100 at batch 150 with
@@ -30,16 +33,25 @@ fn fig15a_tbt_ordering() {
 fn headline_tbt_and_area_efficiency() {
     let model = presets::llama3_8b();
     let session = Ador::new(model).batch(150).seq_len(1024);
-    let cmp = session.compare(&baselines::ador_table3(), &baselines::a100()).unwrap();
+    let cmp = session
+        .compare(&baselines::ador_table3(), &baselines::a100())
+        .unwrap();
     // Paper: 2.36x TBT at batch 150 — we assert the right regime.
-    assert!((1.4..3.5).contains(&cmp.tbt_ratio), "TBT ratio {:.2}", cmp.tbt_ratio);
+    assert!(
+        (1.4..3.5).contains(&cmp.tbt_ratio),
+        "TBT ratio {:.2}",
+        cmp.tbt_ratio
+    );
 
     // Paper: 3.78x area efficiency for TBT (826 mm2 vs 516 mm2 dies).
     let area_model = AreaModel::default();
     let a100_area = area_model.estimate(&baselines::a100()).total();
     let ador_area = area_model.estimate(&baselines::ador_table3()).total();
     let area_eff = cmp.tbt_ratio * (a100_area / ador_area);
-    assert!((2.2..5.5).contains(&area_eff), "area efficiency {area_eff:.2}");
+    assert!(
+        (2.2..5.5).contains(&area_eff),
+        "area efficiency {area_eff:.2}"
+    );
 }
 
 /// Table III: the cost model reproduces all three synthesized die areas.
@@ -52,7 +64,11 @@ fn table3_die_areas() {
         (baselines::ador_table3(), 516.0),
     ] {
         let got = model.estimate(&arch).total().as_mm2();
-        assert!((got - expect).abs() / expect < 0.01, "{}: {got:.1} vs {expect}", arch.name);
+        assert!(
+            (got - expect).abs() / expect < 0.01,
+            "{}: {got:.1} vs {expect}",
+            arch.name
+        );
     }
 }
 
@@ -61,8 +77,10 @@ fn table3_die_areas() {
 #[test]
 fn fig3a_kv_dominance() {
     let m = presets::llama3_8b();
-    let shares: Vec<f64> =
-        [1usize, 16, 64, 128].iter().map(|&b| workload::kv_read_share(&m, b, 8192)).collect();
+    let shares: Vec<f64> = [1usize, 16, 64, 128]
+        .iter()
+        .map(|&b| workload::kv_read_share(&m, b, 8192))
+        .collect();
     assert!(shares.windows(2).all(|w| w[0] < w[1]), "{shares:?}");
     assert!(shares[3] > 0.85, "batch-128 share {:.3}", shares[3]);
 }
@@ -102,7 +120,9 @@ fn search_end_to_end() {
     assert!(outcome.satisfied);
     assert!(outcome.architecture.is_hda());
     assert!(outcome.area.total().as_mm2() <= 826.0);
-    let cmp = session.compare(&outcome.architecture, &baselines::a100()).unwrap();
+    let cmp = session
+        .compare(&outcome.architecture, &baselines::a100())
+        .unwrap();
     assert!(cmp.tbt_ratio > 1.0 && cmp.ttft_ratio > 1.0, "{cmp:?}");
 }
 
@@ -117,5 +137,8 @@ fn fig15b_multi_device_tbt() {
             .unwrap()
     };
     let gap = tbt(&baselines::a100()).get() / tbt(&baselines::ador_table3()).get();
-    assert!(gap > 1.3, "paper reports 2.51x; structural win required, got {gap:.2}");
+    assert!(
+        gap > 1.3,
+        "paper reports 2.51x; structural win required, got {gap:.2}"
+    );
 }

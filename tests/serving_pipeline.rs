@@ -14,7 +14,9 @@ fn sim(rate: f64, requests: usize) -> ador::serving::QosReport {
         &arch,
         &model,
         Deployment::single_device(),
-        SimConfig::new(rate, 128).with_requests(requests).with_seed(3),
+        SimConfig::new(rate, 128)
+            .with_requests(requests)
+            .with_seed(3),
     )
     .unwrap()
     .run(TraceProfile::ultrachat_like())
@@ -56,14 +58,23 @@ fn fig16_capacity_regimes() {
     let strict = cap(Slo::strict());
     let relaxed = cap(Slo::relaxed());
     assert!(relaxed.rate >= strict.rate);
-    assert!(relaxed.rate > 8.0, "paper-scale capacity expected, got {:.1}", relaxed.rate);
+    assert!(
+        relaxed.rate > 8.0,
+        "paper-scale capacity expected, got {:.1}",
+        relaxed.rate
+    );
 }
 
 /// Fig. 16: Yi-34B on two devices sustains less than LLaMA3-8B on one.
 #[test]
 fn fig16_bigger_model_lower_capacity() {
     let arch = baselines::ador_table3();
-    let base = SimConfig::new(1.0, 128).with_requests(60).with_seed(6);
+    // Fig. 16 separates the models only once queueing shows up in the p95
+    // tail: with a 60-request horizon both configs sustain the whole
+    // (0.25, 60) bracket and bisection returns the bracket top for each.
+    // 200 requests is the shortest horizon where the relaxed SLO binds
+    // (LLaMA3-8B ≈ 39 req/s on one device, Yi-34B ≈ 5 req/s on two).
+    let base = SimConfig::new(1.0, 128).with_requests(200).with_seed(6);
     let cap = |model: &ador::model::ModelConfig, deployment| {
         max_capacity(
             &arch,
@@ -119,7 +130,10 @@ fn throughput_saturates_past_capacity() {
     let heavy = sim(60.0, 60);
     let gain = heavy.tokens_per_sec / moderate.tokens_per_sec;
     assert!(gain < 3.0, "tokens/s should saturate, gain {gain:.2}");
-    assert!(heavy.ttft.p95 > moderate.ttft.p95 * 2.0, "queueing must show up in TTFT");
+    assert!(
+        heavy.ttft.p95 > moderate.ttft.p95 * 2.0,
+        "queueing must show up in TTFT"
+    );
 }
 
 /// The simulator is deterministic end-to-end under a fixed seed.
