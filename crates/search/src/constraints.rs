@@ -1,5 +1,5 @@
 //! Search inputs: vendor constraints, user requirements, workload
-//! (the "<ADOR Input Data>" box of Fig. 9).
+//! (the "\<ADOR Input Data\>" box of Fig. 9).
 
 use ador_model::ModelConfig;
 use ador_perf::Deployment;

@@ -25,7 +25,8 @@ pub struct CapacityResult {
 ///
 /// # Errors
 ///
-/// Propagates simulator construction/run errors.
+/// Returns [`SimError::InvalidBounds`] unless `0 < lo < hi`, and propagates
+/// simulator construction/run errors.
 ///
 /// # Examples
 ///
@@ -54,10 +55,9 @@ pub fn max_capacity(
     (lo, hi): (f64, f64),
     iterations: usize,
 ) -> Result<CapacityResult, SimError> {
-    assert!(
-        lo > 0.0 && hi > lo,
-        "capacity bounds must satisfy 0 < lo < hi"
-    );
+    if !(lo > 0.0 && hi > lo) {
+        return Err(SimError::InvalidBounds { lo, hi });
+    }
     let run = |rate: f64| -> Result<QosReport, SimError> {
         let cfg = base_cfg.with_arrival_rate(rate);
         ServingSim::new(arch, model, deployment, cfg)?.run(profile)
@@ -144,19 +144,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "bounds")]
-    fn bad_bounds_rejected() {
+    fn bad_bounds_are_an_error_not_a_panic() {
         let arch = ador_table3();
         let model = presets::llama3_8b();
-        let _ = max_capacity(
-            &arch,
-            &model,
-            Deployment::single_device(),
-            SimConfig::new(1.0, 8),
-            TraceProfile::short_chat(),
-            Slo::strict(),
-            (5.0, 2.0),
-            3,
-        );
+        for bounds in [(5.0, 2.0), (0.0, 10.0), (-1.0, 1.0), (3.0, 3.0)] {
+            let err = max_capacity(
+                &arch,
+                &model,
+                Deployment::single_device(),
+                SimConfig::new(1.0, 8),
+                TraceProfile::short_chat(),
+                Slo::strict(),
+                bounds,
+                3,
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidBounds { .. }),
+                "{bounds:?} -> {err}"
+            );
+        }
     }
 }

@@ -9,6 +9,24 @@
 //! reports TTFT / TBT / end-to-end percentiles, SLO attainment and the
 //! maximum sustainable request rate (Fig. 16).
 //!
+//! The scheduler models three behaviours production engines (vLLM, TGI)
+//! treat as baseline:
+//!
+//! - **Chunked prefill** — prompts larger than
+//!   [`SimConfig::prefill_chunk`] are prefilled over several engine
+//!   iterations, bounding the prefill time a single long prompt can inject
+//!   into running requests' inter-token gaps.
+//! - **Token-granular KV accounting** — KV memory is charged as contexts
+//!   actually grow (chunk by chunk during prefill, one token per decode
+//!   step), not reserved for a request's whole lifetime at admission.
+//! - **Preemption** — under KV pressure the youngest request is paused,
+//!   its KV released, and its context recomputed on resume; the
+//!   [`QosReport`] counts these events alongside queue-depth stats.
+//!
+//! [`SchedulerPolicy`] selects how prefill and decode share iterations:
+//! fused (every iteration may carry a chunk) or decode-prioritized (at most
+//! every other decode step pays prefill interference).
+//!
 //! The paper pulls `HuggingFaceH4/ultrachat_200k` from the hub to
 //! reconstruct token-length patterns; offline, we substitute a seeded
 //! log-normal fit of the same marginals (see `DESIGN.md` §2.7).
@@ -44,9 +62,9 @@ mod trace;
 
 pub use capacity::{max_capacity, CapacityResult};
 pub use generator::RequestGenerator;
-pub use qos::{LatencyStats, QosReport};
+pub use qos::{EngineCounters, LatencyStats, QosReport};
 pub use request::{Request, RequestOutcome};
-pub use sim::{ServingSim, SimConfig, SimError};
+pub use sim::{SchedulerPolicy, ServingSim, SimConfig, SimError};
 pub use slo::Slo;
 pub use sweep::{saturation_knee, sweep_rates, SweepPoint};
 pub use trace::TraceProfile;

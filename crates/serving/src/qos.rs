@@ -21,7 +21,10 @@ pub struct LatencyStats {
 }
 
 impl LatencyStats {
-    /// Computes stats over `samples` (unsorted).
+    /// Computes stats over `samples` (unsorted). Percentiles use ceil-based
+    /// nearest-rank: the q-quantile is the smallest sample with at least
+    /// ⌈q·n⌉ of the population at or below it, so a reported p99 is never
+    /// below the requested quantile.
     ///
     /// # Panics
     ///
@@ -34,8 +37,8 @@ impl LatencyStats {
         let mut sorted: Vec<Seconds> = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
         let pick = |q: f64| {
-            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-            sorted[idx]
+            let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
+            sorted[rank.min(sorted.len()) - 1]
         };
         let mean = sorted.iter().copied().sum::<Seconds>() / sorted.len() as f64;
         Self {
@@ -46,6 +49,24 @@ impl LatencyStats {
             max: *sorted.last().unwrap(),
         }
     }
+}
+
+/// Engine-level counters the scheduler accumulates across its iterations,
+/// reported alongside the per-request latency populations.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
+pub struct EngineCounters {
+    /// Mean decode-batch occupancy (token-producing requests per step).
+    pub mean_batch: f64,
+    /// Peak decode-batch occupancy.
+    pub peak_batch: usize,
+    /// KV-pressure preemption events.
+    pub preemptions: usize,
+    /// Mean admission-queue depth sampled per engine step.
+    pub mean_queue_depth: f64,
+    /// Peak admission-queue depth.
+    pub peak_queue_depth: usize,
+    /// Peak KV tokens resident across the run.
+    pub peak_kv_tokens: usize,
 }
 
 /// The full QoS report of one serving simulation.
@@ -69,6 +90,14 @@ pub struct QosReport {
     pub mean_batch: f64,
     /// Peak decode batch occupancy.
     pub peak_batch: usize,
+    /// KV-pressure preemption events across the run.
+    pub preemptions: usize,
+    /// Mean admission-queue depth across engine steps.
+    pub mean_queue_depth: f64,
+    /// Peak admission-queue depth.
+    pub peak_queue_depth: usize,
+    /// Peak KV tokens resident at any step (≤ the simulator's budget).
+    pub peak_kv_tokens: usize,
 }
 
 impl QosReport {
@@ -80,8 +109,7 @@ impl QosReport {
     pub fn from_outcomes(
         outcomes: &[RequestOutcome],
         makespan: Seconds,
-        mean_batch: f64,
-        peak_batch: usize,
+        counters: EngineCounters,
     ) -> Self {
         assert!(!outcomes.is_empty(), "no completed requests to report on");
         let ttfts: Vec<Seconds> = outcomes.iter().map(|o| o.ttft).collect();
@@ -97,8 +125,12 @@ impl QosReport {
             e2e: LatencyStats::from_samples(&e2es),
             requests_per_sec: outcomes.len() as f64 / span,
             tokens_per_sec: tokens as f64 / span,
-            mean_batch,
-            peak_batch,
+            mean_batch: counters.mean_batch,
+            peak_batch: counters.peak_batch,
+            preemptions: counters.preemptions,
+            mean_queue_depth: counters.mean_queue_depth,
+            peak_queue_depth: counters.peak_queue_depth,
+            peak_kv_tokens: counters.peak_kv_tokens,
         }
     }
 }
@@ -128,12 +160,61 @@ mod tests {
     }
 
     #[test]
+    fn nearest_rank_is_exact_on_known_populations() {
+        // n = 100, values 1..=100 ms: the q-quantile is exactly q·100 ms.
+        let samples: Vec<Seconds> = (1..=100).map(|i| Seconds::from_millis(i as f64)).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50.as_millis(), 50.0);
+        assert_eq!(s.p95.as_millis(), 95.0);
+        assert_eq!(s.p99.as_millis(), 99.0);
+
+        // n = 10: ⌈0.5·10⌉ = 5, ⌈0.95·10⌉ = ⌈0.99·10⌉ = 10.
+        let samples: Vec<Seconds> = (1..=10).map(|i| Seconds::from_millis(i as f64)).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p50.as_millis(), 5.0);
+        assert_eq!(s.p95.as_millis(), 10.0);
+        assert_eq!(s.p99.as_millis(), 10.0);
+    }
+
+    #[test]
+    fn nearest_rank_never_selects_below_the_quantile() {
+        // n = 67 is the `.round()` regression: (66·0.99).round() = 65 picks
+        // the 66th value, below the 99th percentile. Ceil-based nearest
+        // rank picks ⌈0.99·67⌉ = 67.
+        let samples: Vec<Seconds> = (1..=67).map(|i| Seconds::from_millis(i as f64)).collect();
+        let s = LatencyStats::from_samples(&samples);
+        assert_eq!(s.p99.as_millis(), 67.0);
+        for n in 1..=300usize {
+            let samples: Vec<Seconds> = (1..=n).map(|i| Seconds::from_millis(i as f64)).collect();
+            let s = LatencyStats::from_samples(&samples);
+            for (q, v) in [(0.50, s.p50), (0.95, s.p95), (0.99, s.p99)] {
+                let at_or_below = v.as_millis() as usize;
+                assert!(
+                    at_or_below as f64 >= (q * n as f64).ceil() - 0.5,
+                    "n={n} q={q}: picked {at_or_below}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn report_counts_throughput() {
         let outcomes: Vec<RequestOutcome> = (0..10).map(|i| outcome(i, 50.0, 20.0)).collect();
-        let report = QosReport::from_outcomes(&outcomes, Seconds::new(5.0), 4.0, 8);
+        let counters = EngineCounters {
+            mean_batch: 4.0,
+            peak_batch: 8,
+            preemptions: 2,
+            mean_queue_depth: 1.5,
+            peak_queue_depth: 4,
+            peak_kv_tokens: 9000,
+        };
+        let report = QosReport::from_outcomes(&outcomes, Seconds::new(5.0), counters);
         assert_eq!(report.completed, 10);
         assert!((report.requests_per_sec - 2.0).abs() < 1e-9);
         assert!((report.tokens_per_sec - 20.0).abs() < 1e-9);
+        assert_eq!(report.preemptions, 2);
+        assert_eq!(report.peak_queue_depth, 4);
+        assert_eq!(report.peak_kv_tokens, 9000);
     }
 
     #[test]

@@ -1,12 +1,32 @@
-//! The serving engine: continuous batching over the analytical performance
-//! model (paper Fig. 2b, Fig. 14b).
+//! The serving engine: a continuous-batching scheduler over the analytical
+//! performance model (paper Fig. 2b, Fig. 14b).
 //!
-//! Each engine iteration fuses the prefill of newly admitted requests with
-//! one decode step of the running batch — the continuous-batching behaviour
-//! whose QoS side-effects (prefill time bleeding into TBT, queueing
-//! inflating TTFT) the paper's Fig. 2b illustrates.
+//! Each engine iteration fuses up to [`SimConfig::prefill_chunk`] tokens of
+//! prefill work with one decode step of the running batch — the
+//! continuous-batching behaviour whose QoS side-effects (prefill time
+//! bleeding into TBT, queueing inflating TTFT) the paper's Fig. 2b
+//! illustrates. Three properties make the scheduler faithful to production
+//! engines (vLLM-style chunked prefill, token-granular paged KV):
+//!
+//! - **Chunked prefill**: a prompt larger than the chunk budget is
+//!   prefilled across several iterations, so a 32 K-token prompt adds at
+//!   most one chunk's prefill time to any running request's inter-token
+//!   gap per iteration instead of stalling the whole batch once.
+//! - **Token-granular KV accounting**: `kv_tokens_in_use` is the sum of
+//!   live contexts and grows one token per decode step (and chunk by chunk
+//!   during prefill), instead of reserving a request's entire
+//!   prompt+response footprint at admission.
+//! - **Preemption**: when decode-step growth would overflow the KV budget,
+//!   the youngest request is paused and its KV released; it re-enters the
+//!   queue head and recomputes its context (prompt plus already-generated
+//!   tokens) on resume. The oldest request is never preempted, so the
+//!   engine always makes forward progress.
+//!
+//! Chunk cost is modeled as a fresh prefill pass of the chunk length; the
+//! attention cost over earlier chunks' KV is folded into the analytical
+//! model's bucketing rather than accounted per chunk.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
 
 use ador_hw::Architecture;
@@ -14,30 +34,48 @@ use ador_model::ModelConfig;
 use ador_perf::{Deployment, Evaluator, PerfError};
 use ador_units::Seconds;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
-use crate::{QosReport, Request, RequestGenerator, RequestOutcome, TraceProfile};
+use crate::{EngineCounters, QosReport, Request, RequestGenerator, RequestOutcome, TraceProfile};
+
+/// How the scheduler shares engine iterations between prefill and decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SchedulerPolicy {
+    /// Every iteration carries up to one prefill chunk alongside the decode
+    /// step (fused continuous batching). Fastest admission and best TTFT;
+    /// every chunk stretches that iteration's TBT.
+    #[default]
+    Fused,
+    /// Prefill runs only on iterations where no decode is in flight or the
+    /// previous iteration was prefill-free, so at most every other decode
+    /// step pays prefill interference. Lower TBT jitter, slower admission.
+    DecodePrioritized,
+}
 
 /// Serving-simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Mean Poisson arrival rate, requests/s.
     pub arrival_rate: f64,
-    /// Maximum concurrent requests in the decode batch.
+    /// Maximum concurrent requests in the engine (prefilling + decoding).
     pub max_batch: usize,
     /// Requests to simulate.
     pub requests: usize,
     /// RNG seed (arrivals and lengths).
     pub seed: u64,
-    /// Maximum prompt tokens coalesced into one prefill step.
+    /// Prefill token budget per engine iteration, shared by in-flight
+    /// chunked prefills and new admissions.
     pub prefill_chunk: usize,
     /// Fraction of post-weight device memory usable for KV cache.
     pub kv_memory_fraction: f64,
+    /// Prefill/decode interleaving policy.
+    pub policy: SchedulerPolicy,
 }
 
 impl SimConfig {
-    /// Creates a config with `arrival_rate` req/s and `max_batch` decode
+    /// Creates a config with `arrival_rate` req/s and `max_batch` engine
     /// slots; 200 requests, seed 0, 4096-token prefill chunks, 90 % KV
-    /// memory fraction.
+    /// memory fraction, fused scheduling.
     pub fn new(arrival_rate: f64, max_batch: usize) -> Self {
         Self {
             arrival_rate,
@@ -46,6 +84,7 @@ impl SimConfig {
             seed: 0,
             prefill_chunk: 4096,
             kv_memory_fraction: 0.9,
+            policy: SchedulerPolicy::Fused,
         }
     }
 
@@ -66,6 +105,24 @@ impl SimConfig {
         self.arrival_rate = rate;
         self
     }
+
+    /// Sets the per-iteration prefill token budget.
+    pub fn with_prefill_chunk(mut self, prefill_chunk: usize) -> Self {
+        self.prefill_chunk = prefill_chunk;
+        self
+    }
+
+    /// Sets the fraction of post-weight memory granted to the KV cache.
+    pub fn with_kv_memory_fraction(mut self, fraction: f64) -> Self {
+        self.kv_memory_fraction = fraction;
+        self
+    }
+
+    /// Sets the prefill/decode interleaving policy.
+    pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
 }
 
 /// Why a simulation failed.
@@ -73,12 +130,25 @@ impl SimConfig {
 pub enum SimError {
     /// The performance model rejected the configuration.
     Perf(PerfError),
-    /// The configuration admits no requests (zero batch or requests).
+    /// The configuration admits no requests (zero batch, requests or
+    /// prefill chunk).
     EmptyConfig,
-    /// The device cannot hold even one request's KV cache.
+    /// The device cannot hold a request's KV cache.
     NoKvHeadroom {
         /// Tokens of KV budget available.
         budget_tokens: usize,
+    },
+    /// A capacity search was given a bad rate bracket.
+    InvalidBounds {
+        /// Lower bracket end (req/s).
+        lo: f64,
+        /// Upper bracket end (req/s).
+        hi: f64,
+    },
+    /// A replayed request has a zero-length prompt or response.
+    InvalidRequest {
+        /// Id of the offending request.
+        id: u64,
     },
 }
 
@@ -92,6 +162,12 @@ impl fmt::Display for SimError {
                     f,
                     "KV budget of {budget_tokens} tokens cannot hold a single request"
                 )
+            }
+            SimError::InvalidBounds { lo, hi } => {
+                write!(f, "invalid capacity bounds ({lo}, {hi}): need 0 < lo < hi")
+            }
+            SimError::InvalidRequest { id } => {
+                write!(f, "request {id} has a zero-length prompt or response")
             }
         }
     }
@@ -112,19 +188,91 @@ impl From<PerfError> for SimError {
     }
 }
 
+/// Per-request scheduler state that survives preemption.
 #[derive(Debug)]
-struct Active {
+struct Job {
     request: Request,
-    context: usize,
+    /// Tokens generated so far. Survives preemption: the tokens are not
+    /// re-emitted, but their KV is recomputed on resume.
     generated: usize,
-    first_token_at: Seconds,
+    first_token_at: Option<Seconds>,
+    last_token_at: Option<Seconds>,
     tbt_sum: Seconds,
     tbt_max: Seconds,
     tbt_count: usize,
 }
 
+impl Job {
+    fn new(request: Request) -> Self {
+        Self {
+            request,
+            generated: 0,
+            first_token_at: None,
+            last_token_at: None,
+            tbt_sum: Seconds::ZERO,
+            tbt_max: Seconds::ZERO,
+            tbt_count: 0,
+        }
+    }
+
+    /// Tokens a (re)admission must prefill before decoding: the prompt plus
+    /// any previously generated tokens whose KV was dropped at preemption.
+    fn prefill_target(&self) -> usize {
+        self.request.input_tokens + self.generated
+    }
+
+    /// Records one emitted token at `now`. The first token sets TTFT; every
+    /// later one contributes the gap since the previous token to the TBT
+    /// stats — including any preemption stall.
+    fn emit_token(&mut self, now: Seconds) {
+        if self.first_token_at.is_none() {
+            self.first_token_at = Some(now);
+        } else if let Some(last) = self.last_token_at {
+            let gap = now - last;
+            self.tbt_sum += gap;
+            self.tbt_max = self.tbt_max.max(gap);
+            self.tbt_count += 1;
+        }
+        self.last_token_at = Some(now);
+        self.generated += 1;
+    }
+
+    fn done(&self) -> bool {
+        self.generated >= self.request.output_tokens
+    }
+}
+
+/// An admitted request: its job plus prefill progress and resident KV.
+#[derive(Debug)]
+struct Active {
+    job: Job,
+    /// Tokens prefilled so far in the current pass.
+    prefilled: usize,
+    /// Tokens the current pass must prefill before decoding.
+    prefill_target: usize,
+    /// KV tokens currently resident for this request.
+    kv_held: usize,
+}
+
+impl Active {
+    fn admit(job: Job) -> Self {
+        let prefill_target = job.prefill_target();
+        Self {
+            job,
+            prefilled: 0,
+            prefill_target,
+            kv_held: 0,
+        }
+    }
+
+    fn is_decoding(&self) -> bool {
+        self.prefilled == self.prefill_target
+    }
+}
+
 /// The serving simulator: binds an architecture, model and deployment, and
-/// replays a Poisson request stream through continuous batching.
+/// replays a Poisson request stream through the continuous-batching
+/// scheduler.
 pub struct ServingSim<'a> {
     evaluator: Evaluator<'a>,
     cfg: SimConfig,
@@ -141,7 +289,7 @@ impl<'a> ServingSim<'a> {
     /// # Errors
     ///
     /// Returns [`SimError::Perf`] if the model does not fit the deployment,
-    /// [`SimError::EmptyConfig`] for a zero batch/request count, or
+    /// [`SimError::EmptyConfig`] for a zero batch/request/chunk count, or
     /// [`SimError::NoKvHeadroom`] if no KV space remains after weights.
     pub fn new(
         arch: &'a Architecture,
@@ -149,7 +297,7 @@ impl<'a> ServingSim<'a> {
         deployment: Deployment,
         cfg: SimConfig,
     ) -> Result<Self, SimError> {
-        if cfg.max_batch == 0 || cfg.requests == 0 {
+        if cfg.max_batch == 0 || cfg.requests == 0 || cfg.prefill_chunk == 0 {
             return Err(SimError::EmptyConfig);
         }
         let evaluator = Evaluator::new(arch, model, deployment)?;
@@ -180,28 +328,81 @@ impl<'a> ServingSim<'a> {
     ///
     /// # Errors
     ///
-    /// Propagates performance-model errors ([`SimError::Perf`]).
-    pub fn run(mut self, profile: TraceProfile) -> Result<QosReport, SimError> {
-        let mut pending: VecDeque<Request> =
-            RequestGenerator::new(self.cfg.arrival_rate, profile, self.cfg.seed)
-                .take(self.cfg.requests)
-                .into();
-        let mut waiting: VecDeque<Request> = VecDeque::new();
-        let mut running: Vec<Active> = Vec::new();
-        let mut outcomes: Vec<RequestOutcome> = Vec::new();
+    /// Propagates performance-model errors ([`SimError::Perf`]) and
+    /// [`SimError::NoKvHeadroom`] if a sampled request can never fit the
+    /// KV budget.
+    pub fn run(self, profile: TraceProfile) -> Result<QosReport, SimError> {
+        let requests = RequestGenerator::new(self.cfg.arrival_rate, profile, self.cfg.seed)
+            .take(self.cfg.requests);
+        self.run_requests(requests).map(|(report, _)| report)
+    }
+
+    /// Replays an explicit request list (a recorded trace, say) through the
+    /// scheduler and also returns the per-request outcomes.
+    ///
+    /// Requests are sorted by arrival time internally; `cfg.requests` is
+    /// ignored in favour of the list length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyConfig`] for an empty list,
+    /// [`SimError::InvalidRequest`] for a zero-length prompt or response
+    /// (possible on `Request` values built without [`Request::new`]),
+    /// [`SimError::NoKvHeadroom`] if any single request's full context can
+    /// never fit the KV budget, and propagates [`SimError::Perf`].
+    pub fn run_requests(
+        mut self,
+        mut requests: Vec<Request>,
+    ) -> Result<(QosReport, Vec<RequestOutcome>), SimError> {
+        if requests.is_empty() {
+            return Err(SimError::EmptyConfig);
+        }
+        if let Some(r) = requests
+            .iter()
+            .find(|r| r.input_tokens == 0 || r.output_tokens == 0)
+        {
+            // A zero-length prompt can never be admitted (its prefill pass
+            // has no tokens to schedule) and would wedge the queue.
+            return Err(SimError::InvalidRequest { id: r.id });
+        }
+        if requests
+            .iter()
+            .any(|r| r.total_tokens() > self.kv_budget_tokens)
+        {
+            // Such a request could never complete even alone on the device;
+            // admitting it would wedge the queue.
+            return Err(SimError::NoKvHeadroom {
+                budget_tokens: self.kv_budget_tokens,
+            });
+        }
+        requests.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("arrival times are never NaN")
+        });
+        let total = requests.len();
+        let mut pending: VecDeque<Request> = requests.into();
+        let mut waiting: VecDeque<Job> = VecDeque::new();
+        let mut active: Vec<Active> = Vec::new();
+        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(total);
         let mut now = Seconds::ZERO;
-        let mut kv_tokens_in_use = 0usize;
-        let mut batch_samples = 0.0f64;
+        let mut kv_in_use = 0usize;
         let mut steps = 0usize;
+        let mut batch_samples = 0.0f64;
+        let mut queue_samples = 0.0f64;
         let mut peak_batch = 0usize;
-        let total = self.cfg.requests;
+        let mut peak_queue = 0usize;
+        let mut peak_kv = 0usize;
+        let mut preemptions = 0usize;
+        let mut prev_step_prefilled = false;
 
         while outcomes.len() < total {
-            // Admit arrivals.
+            // Move arrivals into the admission queue (preempted jobs were
+            // pushed to the front and resume first).
             while pending.front().is_some_and(|r| r.arrival <= now) {
-                waiting.push_back(pending.pop_front().expect("peeked"));
+                waiting.push_back(Job::new(pending.pop_front().expect("peeked")));
             }
-            if running.is_empty() && waiting.is_empty() {
+            if active.is_empty() && waiting.is_empty() {
                 match pending.front() {
                     Some(next) => {
                         now = next.arrival;
@@ -211,91 +412,163 @@ impl<'a> ServingSim<'a> {
                 }
             }
 
-            // Pick prefill admissions for this iteration.
-            let mut admitted: Vec<Request> = Vec::new();
-            let mut prefill_tokens = 0usize;
-            while let Some(w) = waiting.front() {
-                let slot_ok = running.len() + admitted.len() < self.cfg.max_batch;
-                let kv_ok = kv_tokens_in_use + w.total_tokens() <= self.kv_budget_tokens;
-                let chunk_ok = admitted.is_empty()
-                    || prefill_tokens + w.input_tokens <= self.cfg.prefill_chunk;
-                if !(slot_ok && kv_ok && chunk_ok) {
-                    break;
+            // KV pressure: one decode step grows every decoding context by
+            // a token. Preempt youngest-first — never the oldest, so the
+            // engine always drains — until the growth fits the budget.
+            let mut decoders = active.iter().filter(|a| a.is_decoding()).count();
+            while kv_in_use + decoders > self.kv_budget_tokens && active.len() > 1 {
+                if preempt_youngest(&mut active, &mut waiting, &mut kv_in_use, &mut preemptions) {
+                    decoders -= 1;
                 }
-                prefill_tokens += w.input_tokens;
-                kv_tokens_in_use += w.total_tokens();
-                admitted.push(waiting.pop_front().expect("peeked"));
             }
 
-            // Fused engine iteration: prefill the admitted chunk, then one
-            // decode step of the running batch.
-            let mut step_time = Seconds::ZERO;
-            if !admitted.is_empty() {
-                let mean_prompt = (prefill_tokens / admitted.len()).max(1);
-                step_time += self.prefill_time(admitted.len(), mean_prompt)?;
+            // Prefill schedule: continue in-flight prefills oldest-first,
+            // then admit from the queue head, sharing one `prefill_chunk`
+            // token budget. A chunk that completes a pass also reserves the
+            // +1 KV token of the first token it emits.
+            let prefill_allowed = match self.cfg.policy {
+                SchedulerPolicy::Fused => true,
+                SchedulerPolicy::DecodePrioritized => decoders == 0 || !prev_step_prefilled,
+            };
+            let mut chunk_budget = if prefill_allowed {
+                self.cfg.prefill_chunk
+            } else {
+                0
+            };
+            let mut kv_headroom = self.kv_budget_tokens - kv_in_use - decoders;
+            let mut chunks: Vec<(usize, usize)> = Vec::new();
+            for (i, a) in active.iter().enumerate() {
+                if chunk_budget == 0 {
+                    break;
+                }
+                if a.is_decoding() {
+                    continue;
+                }
+                let remaining = a.prefill_target - a.prefilled;
+                let take = Self::chunk_take(remaining, chunk_budget, kv_headroom);
+                if take == 0 {
+                    break;
+                }
+                chunk_budget -= take;
+                kv_headroom -= take + usize::from(take == remaining);
+                chunks.push((i, take));
             }
-            if !running.is_empty() {
-                let mean_ctx = running.iter().map(|a| a.context).sum::<usize>() / running.len();
-                step_time += self.decode_time(running.len(), mean_ctx.max(1))?;
+            while chunk_budget > 0 && active.len() < self.cfg.max_batch {
+                let Some(job) = waiting.front() else { break };
+                let take = Self::chunk_take(job.prefill_target(), chunk_budget, kv_headroom);
+                if take == 0 {
+                    break;
+                }
+                let job = waiting.pop_front().expect("peeked");
+                let remaining = job.prefill_target();
+                chunk_budget -= take;
+                kv_headroom -= take + usize::from(take == remaining);
+                chunks.push((active.len(), take));
+                active.push(Active::admit(job));
+            }
+
+            // All actives mid-prefill with zero headroom and nobody
+            // decoding: evict the youngest so the oldest can proceed.
+            if decoders == 0 && chunks.is_empty() && active.len() > 1 {
+                preempt_youngest(&mut active, &mut waiting, &mut kv_in_use, &mut preemptions);
+                continue;
+            }
+
+            // Timing: one fused engine iteration.
+            let prefill_tokens: usize = chunks.iter().map(|&(_, t)| t).sum();
+            let decoding_now: Vec<bool> = active.iter().map(Active::is_decoding).collect();
+            let mut step_time = Seconds::ZERO;
+            if prefill_tokens > 0 {
+                let mean_chunk = (prefill_tokens / chunks.len()).max(1);
+                step_time += self.prefill_time(chunks.len(), mean_chunk)?;
+            }
+            if decoders > 0 {
+                let ctx_sum: usize = active
+                    .iter()
+                    .filter(|a| a.is_decoding())
+                    .map(|a| a.kv_held)
+                    .sum();
+                step_time += self.decode_time(decoders, (ctx_sum / decoders).max(1))?;
             }
             now += step_time;
             steps += 1;
-            batch_samples += running.len() as f64;
-            peak_batch = peak_batch.max(running.len() + admitted.len());
+            prev_step_prefilled = prefill_tokens > 0;
 
-            // Pre-existing running requests each produced one token.
-            let mut i = 0;
-            while i < running.len() {
-                let a = &mut running[i];
-                a.generated += 1;
-                a.context += 1;
-                a.tbt_sum += step_time;
-                a.tbt_max = a.tbt_max.max(step_time);
-                a.tbt_count += 1;
-                if a.generated >= a.request.output_tokens {
-                    let a = running.swap_remove(i);
-                    kv_tokens_in_use = kv_tokens_in_use.saturating_sub(a.request.total_tokens());
-                    outcomes.push(finish(a, now));
-                } else {
-                    i += 1;
-                }
+            // Apply prefill progress token-granularly.
+            let mut received = vec![0usize; active.len()];
+            for &(i, take) in &chunks {
+                received[i] = take;
+                let a = &mut active[i];
+                a.prefilled += take;
+                a.kv_held += take;
+                kv_in_use += take;
             }
 
-            // Admitted requests emitted their first token at the end of the
-            // fused step.
-            for request in admitted {
-                let ttft = now - request.arrival;
-                if request.output_tokens == 1 {
-                    kv_tokens_in_use = kv_tokens_in_use.saturating_sub(request.total_tokens());
-                    outcomes.push(RequestOutcome {
-                        request,
-                        ttft,
-                        mean_tbt: Seconds::ZERO,
-                        max_tbt: Seconds::ZERO,
-                        e2e: ttft,
-                    });
-                } else {
-                    running.push(Active {
-                        context: request.input_tokens + 1,
-                        generated: 1,
-                        first_token_at: now,
-                        tbt_sum: Seconds::ZERO,
-                        tbt_max: Seconds::ZERO,
-                        tbt_count: 0,
-                        request,
-                    });
+            // Token emission: every request that decoded this step, plus
+            // every request whose prefill pass just completed (its first —
+            // or, after preemption, next — token comes out of the fused
+            // step). This is also the decode-batch occupancy sample, taken
+            // after same-step admissions so fresh decoders are counted.
+            let mut batch_now = 0usize;
+            let mut finished: Vec<usize> = Vec::new();
+            for i in 0..active.len() {
+                let emitted = decoding_now[i] || (received[i] > 0 && active[i].is_decoding());
+                if !emitted {
+                    continue;
+                }
+                batch_now += 1;
+                let a = &mut active[i];
+                a.kv_held += 1;
+                kv_in_use += 1;
+                a.job.emit_token(now);
+                if a.job.done() {
+                    finished.push(i);
                 }
             }
+            for &i in finished.iter().rev() {
+                let a = active.remove(i);
+                kv_in_use -= a.kv_held;
+                outcomes.push(finish(a.job, now));
+            }
+
+            batch_samples += batch_now as f64;
+            peak_batch = peak_batch.max(batch_now);
+            queue_samples += waiting.len() as f64;
+            peak_queue = peak_queue.max(waiting.len());
+            peak_kv = peak_kv.max(kv_in_use);
+            debug_assert_eq!(
+                kv_in_use,
+                active.iter().map(|a| a.kv_held).sum::<usize>(),
+                "KV ledger must equal the sum of live contexts"
+            );
+            debug_assert!(
+                kv_in_use <= self.kv_budget_tokens,
+                "KV in use ({kv_in_use}) exceeded the budget ({})",
+                self.kv_budget_tokens
+            );
         }
 
-        let mean_batch = if steps == 0 {
-            0.0
-        } else {
-            batch_samples / steps as f64
+        let per_step = |sum: f64| if steps == 0 { 0.0 } else { sum / steps as f64 };
+        let counters = EngineCounters {
+            mean_batch: per_step(batch_samples),
+            peak_batch,
+            preemptions,
+            mean_queue_depth: per_step(queue_samples),
+            peak_queue_depth: peak_queue,
+            peak_kv_tokens: peak_kv,
         };
-        Ok(QosReport::from_outcomes(
-            &outcomes, now, mean_batch, peak_batch,
-        ))
+        Ok((QosReport::from_outcomes(&outcomes, now, counters), outcomes))
+    }
+
+    /// Prefill tokens to grant a pass with `remaining` tokens to go, given
+    /// the iteration's remaining chunk budget and KV headroom. Completing
+    /// the pass needs one extra headroom token for the emitted token's KV.
+    fn chunk_take(remaining: usize, chunk_budget: usize, kv_headroom: usize) -> usize {
+        let mut take = remaining.min(chunk_budget).min(kv_headroom);
+        if take == remaining && take + 1 > kv_headroom {
+            take = take.saturating_sub(1);
+        }
+        take
     }
 
     fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
@@ -330,18 +603,37 @@ impl fmt::Debug for ServingSim<'_> {
     }
 }
 
-fn finish(a: Active, now: Seconds) -> RequestOutcome {
-    let mean_tbt = if a.tbt_count == 0 {
+/// Pauses the youngest admitted request: releases its KV back to the pool
+/// and returns its job to the head of the admission queue for resume.
+/// Returns whether the victim was decoding (so callers can adjust their
+/// decoder count). The caller guarantees `active` is non-empty and never
+/// preempts down to zero, preserving forward progress for the oldest.
+fn preempt_youngest(
+    active: &mut Vec<Active>,
+    waiting: &mut VecDeque<Job>,
+    kv_in_use: &mut usize,
+    preemptions: &mut usize,
+) -> bool {
+    let victim = active.pop().expect("caller checks non-empty");
+    let was_decoding = victim.is_decoding();
+    *kv_in_use -= victim.kv_held;
+    *preemptions += 1;
+    waiting.push_front(victim.job);
+    was_decoding
+}
+
+fn finish(job: Job, now: Seconds) -> RequestOutcome {
+    let mean_tbt = if job.tbt_count == 0 {
         Seconds::ZERO
     } else {
-        a.tbt_sum / a.tbt_count as f64
+        job.tbt_sum / job.tbt_count as f64
     };
     RequestOutcome {
-        ttft: a.first_token_at - a.request.arrival,
+        ttft: job.first_token_at.expect("finished jobs emitted a token") - job.request.arrival,
         mean_tbt,
-        max_tbt: a.tbt_max,
-        e2e: now - a.request.arrival,
-        request: a.request,
+        max_tbt: job.tbt_max,
+        e2e: now - job.request.arrival,
+        request: job.request,
     }
 }
 
@@ -421,6 +713,8 @@ mod tests {
         assert!(heavy.ttft.p95 > light.ttft.p95);
         assert!(heavy.mean_batch > light.mean_batch);
         assert!(heavy.tbt.p50 >= light.tbt.p50);
+        assert!(heavy.mean_queue_depth > light.mean_queue_depth);
+        assert!(heavy.peak_queue_depth > light.peak_queue_depth);
     }
 
     #[test]
@@ -470,6 +764,14 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, SimError::EmptyConfig);
+        let err = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 16).with_prefill_chunk(0),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::EmptyConfig);
     }
 
     #[test]
@@ -487,6 +789,100 @@ mod tests {
             err,
             SimError::Perf(PerfError::ModelTooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_up_front() {
+        // A request whose full context exceeds the KV budget would wedge
+        // the queue forever; the run reports NoKvHeadroom instead.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let sim = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 8).with_kv_memory_fraction(0.005),
+        )
+        .unwrap();
+        let budget = sim.kv_budget_tokens();
+        let big = Request::new(0, Seconds::ZERO, budget, budget);
+        let err = sim.run_requests(vec![big]).unwrap_err();
+        assert!(matches!(err, SimError::NoKvHeadroom { .. }));
+    }
+
+    #[test]
+    fn zero_token_request_is_rejected_up_front() {
+        // `Request`'s fields are public (and Deserialize-able), so a
+        // replayed trace can bypass `Request::new`'s assert; the scheduler
+        // must refuse such entries instead of spinning forever.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mk = || {
+            ServingSim::new(
+                &arch,
+                &model,
+                Deployment::single_device(),
+                SimConfig::new(1.0, 8),
+            )
+            .unwrap()
+        };
+        let mut bad = Request::new(7, Seconds::ZERO, 100, 10);
+        bad.input_tokens = 0;
+        let err = mk().run_requests(vec![bad]).unwrap_err();
+        assert_eq!(err, SimError::InvalidRequest { id: 7 });
+        let mut bad = Request::new(8, Seconds::ZERO, 100, 10);
+        bad.output_tokens = 0;
+        let err = mk().run_requests(vec![bad]).unwrap_err();
+        assert_eq!(err, SimError::InvalidRequest { id: 8 });
+    }
+
+    #[test]
+    fn single_request_has_full_batch_occupancy() {
+        // A lone request occupies the engine on every step — including the
+        // fused step that emits its first token. Guards the mean-batch
+        // undercount where same-step admissions were never sampled.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let (report, outcomes) = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            SimConfig::new(1.0, 8),
+        )
+        .unwrap()
+        .run_requests(vec![Request::new(0, Seconds::ZERO, 128, 8)])
+        .unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(outcomes.len(), 1);
+        assert!(
+            (report.mean_batch - 1.0).abs() < 1e-12,
+            "{}",
+            report.mean_batch
+        );
+    }
+
+    #[test]
+    fn long_prompt_is_prefilled_in_chunks() {
+        // An 8×chunk prompt takes 8 iterations of prefill, so its TTFT far
+        // exceeds a one-chunk prompt's, and the engine records no stall
+        // longer than decode + one chunk for a concurrent decoder.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8).with_prefill_chunk(512);
+        let (_, outcomes) = ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run_requests(vec![Request::new(0, Seconds::ZERO, 4096, 4)])
+            .unwrap();
+        let long_ttft = outcomes[0].ttft;
+        let (_, outcomes) = ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run_requests(vec![Request::new(0, Seconds::ZERO, 512, 4)])
+            .unwrap();
+        let short_ttft = outcomes[0].ttft;
+        assert!(
+            long_ttft.get() > short_ttft.get() * 4.0,
+            "chunked long prompt must span several iterations: {long_ttft} vs {short_ttft}"
+        );
     }
 
     use ador_hw::Architecture;

@@ -85,6 +85,10 @@ mod tests {
             tokens_per_sec: 1000.0,
             mean_batch: 8.0,
             peak_batch: 16,
+            preemptions: 0,
+            mean_queue_depth: 0.0,
+            peak_queue_depth: 0,
+            peak_kv_tokens: 0,
         }
     }
 

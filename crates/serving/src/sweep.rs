@@ -27,6 +27,10 @@ impl SweepPoint {
 
 /// Runs the serving simulation at each rate in `rates`.
 ///
+/// `base_cfg` carries every scheduler knob — batch cap, prefill chunk,
+/// KV memory fraction and [`crate::SchedulerPolicy`] — so a sweep compares
+/// rates under one fixed scheduling regime.
+///
 /// # Errors
 ///
 /// Propagates simulator errors from any point of the sweep.

@@ -9,23 +9,59 @@
 
 use ador::model::{presets, ModelConfig};
 use ador::perf::Deployment;
-use ador::serving::{max_capacity, ServingSim, SimConfig, Slo, TraceProfile};
+use ador::serving::{max_capacity, SchedulerPolicy, ServingSim, SimConfig, Slo, TraceProfile};
 use ador::AdorError;
 
 fn qos_at_rates(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError> {
     let arch = ador::baselines::ador_table3();
     println!("--- {} on {} device(s) ---", model.name, deployment.devices);
-    println!("rate(req/s) | TTFT p95 | TBT p95 | mean batch | tok/s");
+    println!("rate(req/s) | TTFT p95 | TBT p95 | mean batch | queue p̄ | tok/s");
     for rate in [2.0, 5.0, 10.0, 20.0] {
         let cfg = SimConfig::new(rate, 128).with_requests(120).with_seed(7);
         let report =
             ServingSim::new(&arch, model, deployment, cfg)?.run(TraceProfile::ultrachat_like())?;
         println!(
-            "{rate:>10.1} | {:>8} | {:>7} | {:>10.1} | {:>6.0}",
+            "{rate:>10.1} | {:>8} | {:>7} | {:>10.1} | {:>8.1} | {:>6.0}",
             format!("{}", report.ttft.p95),
             format!("{}", report.tbt.p95),
             report.mean_batch,
+            report.mean_queue_depth,
             report.tokens_per_sec,
+        );
+    }
+    Ok(())
+}
+
+/// Chunked prefill under a long-document workload: how the scheduler policy
+/// trades admission speed (TTFT) against decode smoothness (TBT), and how
+/// KV pressure shows up as preemptions once memory is scarce.
+fn scheduler_policies() -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    println!("policy             | TTFT p95 | TBT p95 | preempt | peak KV (tokens)");
+    for (label, policy, kv_fraction) in [
+        ("fused              ", SchedulerPolicy::Fused, 0.9),
+        (
+            "decode-prioritized ",
+            SchedulerPolicy::DecodePrioritized,
+            0.9,
+        ),
+        ("fused, scarce KV   ", SchedulerPolicy::Fused, 0.02),
+    ] {
+        let cfg = SimConfig::new(4.0, 64)
+            .with_requests(80)
+            .with_seed(13)
+            .with_prefill_chunk(512)
+            .with_policy(policy)
+            .with_kv_memory_fraction(kv_fraction);
+        let report = ServingSim::new(&arch, &model, Deployment::single_device(), cfg)?
+            .run(TraceProfile::summarization())?;
+        println!(
+            "{label}| {:>8} | {:>7} | {:>7} | {:>8}",
+            format!("{}", report.ttft.p95),
+            format!("{}", report.tbt.p95),
+            report.preemptions,
+            report.peak_kv_tokens,
         );
     }
     Ok(())
@@ -60,6 +96,9 @@ fn main() -> Result<(), AdorError> {
     println!("=== QoS vs load (Fig. 16 methodology) ===");
     qos_at_rates(&presets::llama3_8b(), Deployment::single_device())?;
     qos_at_rates(&presets::yi_34b(), Deployment::tensor_parallel(2))?;
+
+    println!("\n=== Scheduler policy & KV pressure (512-token chunks, summarization) ===");
+    scheduler_policies()?;
 
     println!("\n=== SLO-bounded max capacity ===");
     println!("LLaMA3 8B, 1 device:");
