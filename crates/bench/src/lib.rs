@@ -43,11 +43,88 @@ pub fn claim(label: &str, paper: &str, measured: &str) {
     println!("claim: {label}: paper = {paper}, measured = {measured}");
 }
 
+/// Minimal JSON emission for machine-readable perf artifacts.
+///
+/// The report types under `ador_core::serving` / `ador_core::cluster`
+/// carry `serde::Serialize` derives, but the offline serde shim is an
+/// inert marker (see `shims/README.md`) — nothing can drive real
+/// serialization through it. Until the real `serde`/`serde_json` land,
+/// benches hand-assemble their artifact objects with these helpers; the
+/// derives guarantee the types stay serializable for that switch.
+pub mod json {
+    use std::fmt::Write;
+
+    /// Renders a JSON string literal (with escaping).
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(out, "\\u{:04x}", c as u32);
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Renders a finite number (non-finite values become `null`, which
+    /// JSON cannot represent otherwise).
+    pub fn num(x: f64) -> String {
+        if x.is_finite() {
+            format!("{x}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Renders an object from pre-rendered value fragments.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", string(k)))
+            .collect();
+        format!("{{{}}}", body.join(","))
+    }
+
+    /// Renders an array from pre-rendered value fragments.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(","))
+    }
+}
+
+/// Emits one machine-readable artifact line (`artifact: <name> <json>`),
+/// greppable out of `bench_output.txt` by perf-tracking tooling.
+pub fn artifact(name: &str, json: &str) {
+    println!("artifact: {name} {json}");
+}
+
 #[cfg(test)]
 mod tests {
+    use super::json;
+
     #[test]
     fn float_formatting_is_stable() {
         assert_eq!(super::f(1.23456, 2), "1.23");
         assert_eq!(super::f(10.0, 1), "10.0");
+    }
+
+    #[test]
+    fn json_helpers_render_valid_fragments() {
+        assert_eq!(json::string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(json::num(2.5), "2.5");
+        assert_eq!(json::num(f64::NAN), "null");
+        assert_eq!(
+            json::object(&[("rate", json::num(7.0)), ("policy", json::string("jsq"))]),
+            r#"{"rate":7,"policy":"jsq"}"#
+        );
+        assert_eq!(json::array(&[json::num(1.0), json::num(2.0)]), "[1,2]");
     }
 }

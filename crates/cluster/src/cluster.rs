@@ -1,0 +1,456 @@
+//! The fleet simulator: N engine replicas behind a router, advanced in
+//! lockstep on a shared event clock.
+
+use std::collections::{HashMap, VecDeque};
+
+use ador_hw::Architecture;
+use ador_model::ModelConfig;
+use ador_perf::Deployment;
+use ador_serving::{Engine, QosReport, RequestOutcome, ServingSim, SimConfig, SimError};
+use serde::Serialize;
+
+use crate::report::imbalance;
+use crate::{
+    ClusterRequest, FleetReport, ReplicaSnapshot, Router, RouterPolicy, TenantClass, TenantMix,
+    TenantQos,
+};
+
+/// Fleet-level configuration: replica count, routing policy, admission
+/// control, and the per-replica engine knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClusterConfig {
+    /// Engine replicas in the fleet.
+    pub replicas: usize,
+    /// The routing policy at the front door.
+    pub policy: RouterPolicy,
+    /// Admission control: shed a request when its chosen replica already
+    /// has this many requests waiting. `None` admits everything.
+    pub queue_cap: Option<usize>,
+    /// Per-replica engine knobs (batch cap, prefill chunk, KV fraction,
+    /// scheduler policy). The `arrival_rate`, `requests` and `seed`
+    /// fields are unused — the cluster's [`TenantMix`] owns the workload.
+    pub engine: SimConfig,
+}
+
+impl ClusterConfig {
+    /// Creates a config with `replicas` engines behind `policy`, 128-slot
+    /// replicas and no admission control.
+    pub fn new(replicas: usize, policy: RouterPolicy) -> Self {
+        Self {
+            replicas,
+            policy,
+            queue_cap: None,
+            engine: SimConfig::new(1.0, 128),
+        }
+    }
+
+    /// Sets the per-replica engine configuration.
+    pub fn with_engine(mut self, engine: SimConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the admission-control queue cap.
+    pub fn with_queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+}
+
+/// A fleet of engine replicas behind a [`Router`].
+///
+/// The driver advances replicas in lockstep on a shared event clock: for
+/// each request in arrival order, every replica is stepped up to the
+/// arrival instant ([`Engine::step_until`]), the router picks a replica
+/// from the live load snapshots, and the request is submitted (or shed).
+/// Once the stream is exhausted the fleet drains round-robin, one engine
+/// iteration per replica per round.
+///
+/// [`ClusterSim::run`] does all of this in one call; the incremental
+/// [`ClusterSim::submit_stream`] / [`ClusterSim::advance`] /
+/// [`ClusterSim::finish`] surface exists so tests and tools can observe
+/// fleet state (e.g. the conservation invariant
+/// `submitted == completed + rejected + in_flight`) between events.
+///
+/// # Examples
+///
+/// ```
+/// use ador_cluster::{ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix};
+/// use ador_perf::Deployment;
+///
+/// let arch = ador_baselines::ador_table3();
+/// let model = ador_model::presets::llama3_8b();
+/// let mix = TenantMix::new(vec![
+///     TenantClass::chatbot(4.0),
+///     TenantClass::code_completion(2.0),
+/// ]);
+/// let cfg = ClusterConfig::new(2, RouterPolicy::JoinShortestQueue);
+/// let report = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)?
+///     .run(&mix, 60, 7)?;
+/// assert_eq!(report.completed, 60);
+/// assert_eq!(report.tenants.len(), 2);
+/// # Ok::<(), ador_serving::SimError>(())
+/// ```
+pub struct ClusterSim<'a> {
+    engines: Vec<Engine<'a>>,
+    router: Router,
+    cfg: ClusterConfig,
+    stream: VecDeque<ClusterRequest>,
+    classes: Vec<TenantClass>,
+    offered: usize,
+    tenant_of: HashMap<u64, usize>,
+    submitted_per_tenant: Vec<usize>,
+    rejected_per_tenant: Vec<usize>,
+    assignments: Vec<(u64, Option<usize>)>,
+}
+
+impl<'a> ClusterSim<'a> {
+    /// Builds a fleet of identical replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyConfig`] for a zero replica count and
+    /// propagates per-replica construction errors (model does not fit,
+    /// no KV headroom, …).
+    pub fn new(
+        arch: &'a Architecture,
+        model: &'a ModelConfig,
+        deployment: Deployment,
+        cfg: ClusterConfig,
+    ) -> Result<Self, SimError> {
+        if cfg.replicas == 0 {
+            return Err(SimError::EmptyConfig);
+        }
+        let engines = (0..cfg.replicas)
+            .map(|_| Ok(ServingSim::new(arch, model, deployment, cfg.engine)?.engine()))
+            .collect::<Result<Vec<_>, SimError>>()?;
+        Ok(Self {
+            engines,
+            router: Router::new(cfg.policy),
+            cfg,
+            stream: VecDeque::new(),
+            classes: Vec::new(),
+            offered: 0,
+            tenant_of: HashMap::new(),
+            submitted_per_tenant: Vec::new(),
+            rejected_per_tenant: Vec::new(),
+            assignments: Vec::new(),
+        })
+    }
+
+    /// Generates `count` requests from `mix` under `seed` and runs the
+    /// fleet to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (see [`Engine::submit`] / [`Engine::step`]).
+    pub fn run(self, mix: &TenantMix, count: usize, seed: u64) -> Result<FleetReport, SimError> {
+        let stream = mix.generate(count, seed);
+        self.run_stream(mix, stream)
+    }
+
+    /// Runs an explicit tagged request stream (a recorded trace, say) to
+    /// completion. See [`ClusterSim::submit_stream`] for its requirements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (see [`Engine::submit`] / [`Engine::step`]).
+    pub fn run_stream(
+        mut self,
+        mix: &TenantMix,
+        stream: Vec<ClusterRequest>,
+    ) -> Result<FleetReport, SimError> {
+        self.submit_stream(mix, stream);
+        while self.advance()? {}
+        Ok(self.finish())
+    }
+
+    /// Loads a tagged request stream for incremental driving. The stream
+    /// is sorted by arrival internally; request ids must be unique and
+    /// tenant tags must index into `mix`'s classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate request ids, out-of-range tenant tags, or if a
+    /// stream was already loaded.
+    pub fn submit_stream(&mut self, mix: &TenantMix, mut stream: Vec<ClusterRequest>) {
+        assert!(
+            self.classes.is_empty() && self.stream.is_empty(),
+            "a cluster runs one stream per lifetime"
+        );
+        self.classes = mix.classes().to_vec();
+        self.submitted_per_tenant = vec![0; self.classes.len()];
+        self.rejected_per_tenant = vec![0; self.classes.len()];
+        stream.sort_by(|a, b| {
+            a.request
+                .arrival
+                .partial_cmp(&b.request.arrival)
+                .expect("arrival times are never NaN")
+        });
+        for cr in &stream {
+            assert!(
+                cr.tenant < self.classes.len(),
+                "tenant tag {} out of range for a {}-class mix",
+                cr.tenant,
+                self.classes.len()
+            );
+            assert!(
+                !self.tenant_of.contains_key(&cr.request.id),
+                "duplicate request id {}",
+                cr.request.id
+            );
+            self.tenant_of.insert(cr.request.id, cr.tenant);
+            self.submitted_per_tenant[cr.tenant] += 1;
+        }
+        self.offered = stream.len();
+        self.stream = stream.into();
+    }
+
+    /// Advances the fleet by one event: routes the next arrival (stepping
+    /// every replica up to the arrival instant first), or — once the
+    /// stream is exhausted — steps each undrained replica one iteration.
+    /// Returns `false` when the fleet is fully drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn advance(&mut self) -> Result<bool, SimError> {
+        if let Some(cr) = self.stream.pop_front() {
+            let arrival = cr.request.arrival;
+            for engine in &mut self.engines {
+                engine.step_until(arrival)?;
+            }
+            let snapshots: Vec<ReplicaSnapshot> = self.engines.iter().map(snapshot).collect();
+            let idx = self.router.route(cr.tenant, self.classes.len(), &snapshots);
+            let admit = self
+                .cfg
+                .queue_cap
+                .is_none_or(|cap| snapshots[idx].queue_depth < cap);
+            if admit {
+                self.engines[idx].submit(cr.request)?;
+                self.assignments.push((cr.request.id, Some(idx)));
+            } else {
+                self.rejected_per_tenant[cr.tenant] += 1;
+                self.assignments.push((cr.request.id, None));
+            }
+            return Ok(true);
+        }
+        let mut any = false;
+        for engine in &mut self.engines {
+            if !engine.is_drained() {
+                engine.step()?;
+                any = true;
+            }
+        }
+        Ok(any)
+    }
+
+    /// Requests offered to the cluster so far (routed, shed, or still in
+    /// the arrival stream).
+    pub fn submitted(&self) -> usize {
+        self.offered
+    }
+
+    /// Requests completed across all replicas.
+    pub fn completed(&self) -> usize {
+        self.engines.iter().map(|e| e.completed()).sum()
+    }
+
+    /// Requests shed by admission control.
+    pub fn rejected(&self) -> usize {
+        self.rejected_per_tenant.iter().sum()
+    }
+
+    /// Requests inside the cluster: still in the arrival stream or inside
+    /// a replica (queued, prefilling or decoding).
+    pub fn in_flight(&self) -> usize {
+        self.stream.len() + self.engines.iter().map(|e| e.in_flight()).sum::<usize>()
+    }
+
+    /// Whether every offered request has completed or been shed.
+    pub fn is_done(&self) -> bool {
+        self.stream.is_empty() && self.engines.iter().all(|e| e.is_drained())
+    }
+
+    /// Builds the fleet report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fleet has not fully drained (call after
+    /// [`ClusterSim::advance`] returns `false`).
+    pub fn finish(self) -> FleetReport {
+        assert!(self.is_done(), "finish() requires a drained fleet");
+        let per_replica: Vec<Option<QosReport>> = self.engines.iter().map(|e| e.report()).collect();
+        let completed_reports: Vec<QosReport> = per_replica.iter().flatten().cloned().collect();
+        let fleet = if completed_reports.is_empty() {
+            None
+        } else {
+            Some(QosReport::merge(&completed_reports))
+        };
+
+        let tokens_per_replica: Vec<f64> = self
+            .engines
+            .iter()
+            .map(|e| {
+                e.outcomes()
+                    .iter()
+                    .map(|o| o.request.total_tokens() as f64)
+                    .sum()
+            })
+            .collect();
+
+        let mut per_tenant: Vec<Vec<RequestOutcome>> = vec![Vec::new(); self.classes.len()];
+        for engine in &self.engines {
+            for outcome in engine.outcomes() {
+                let tenant = self.tenant_of[&outcome.request.id];
+                per_tenant[tenant].push(*outcome);
+            }
+        }
+        let tenants: Vec<TenantQos> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(i, class)| {
+                TenantQos::from_outcomes(
+                    class.name.clone(),
+                    class.slo,
+                    &per_tenant[i],
+                    self.submitted_per_tenant[i],
+                    self.rejected_per_tenant[i],
+                )
+            })
+            .collect();
+
+        FleetReport {
+            replicas: self.engines.len(),
+            policy: self.cfg.policy,
+            submitted: self.offered,
+            completed: self.engines.iter().map(|e| e.completed()).sum(),
+            rejected: self.rejected_per_tenant.iter().sum(),
+            fleet,
+            per_replica,
+            tenants,
+            assignments: self.assignments,
+            imbalance: imbalance(&tokens_per_replica),
+        }
+    }
+}
+
+impl std::fmt::Debug for ClusterSim<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterSim")
+            .field("replicas", &self.engines.len())
+            .field("policy", &self.cfg.policy)
+            .field("offered", &self.offered)
+            .field("completed", &self.completed())
+            .field("rejected", &self.rejected())
+            .finish()
+    }
+}
+
+fn snapshot(engine: &Engine<'_>) -> ReplicaSnapshot {
+    ReplicaSnapshot {
+        queue_depth: engine.queue_depth(),
+        active: engine.active_len(),
+        kv_in_use: engine.kv_in_use(),
+        backlog_tokens: engine.backlog_tokens(),
+        kv_budget_tokens: engine.kv_budget_tokens(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ador_baselines::ador_table3;
+    use ador_model::presets;
+
+    fn two_class_mix(rate: f64) -> TenantMix {
+        TenantMix::new(vec![
+            TenantClass::chatbot(rate * 0.7),
+            TenantClass::summarization(rate * 0.3),
+        ])
+    }
+
+    #[test]
+    fn fleet_completes_everything_without_admission_control() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = ClusterConfig::new(3, RouterPolicy::JoinShortestQueue);
+        let report = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(&two_class_mix(6.0), 90, 5)
+            .unwrap();
+        assert_eq!(report.submitted, 90);
+        assert_eq!(report.completed, 90);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.replicas, 3);
+        assert_eq!(report.assignments.len(), 90);
+        assert!(report.fleet.is_some());
+        let by_tenant: usize = report.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(by_tenant, 90, "every outcome maps back to a tenant");
+    }
+
+    #[test]
+    fn zero_replicas_is_an_error() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let err = ClusterSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            ClusterConfig::new(0, RouterPolicy::RoundRobin),
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::EmptyConfig);
+    }
+
+    #[test]
+    fn queue_cap_sheds_under_overload() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        // One tiny replica, a flood of arrivals, and a 2-deep queue cap.
+        let cfg = ClusterConfig::new(1, RouterPolicy::JoinShortestQueue)
+            .with_engine(SimConfig::new(1.0, 4))
+            .with_queue_cap(2);
+        let report = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(&two_class_mix(100.0), 80, 9)
+            .unwrap();
+        assert!(report.rejected > 0, "overload must shed");
+        assert_eq!(report.completed + report.rejected, 80);
+        let shed_tenants: usize = report.tenants.iter().map(|t| t.rejected).sum();
+        assert_eq!(shed_tenants, report.rejected);
+        // Shed requests appear as unassigned in the routing trace.
+        let unassigned = report
+            .assignments
+            .iter()
+            .filter(|(_, r)| r.is_none())
+            .count();
+        assert_eq!(unassigned, report.rejected);
+    }
+
+    #[test]
+    fn single_replica_fleet_matches_the_bare_engine() {
+        // A 1-replica cluster with no admission control is exactly one
+        // ServingSim run over the same stream.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mix = two_class_mix(4.0);
+        let stream = mix.generate(50, 21);
+        let engine_cfg = SimConfig::new(1.0, 64);
+
+        let cfg = ClusterConfig::new(1, RouterPolicy::RoundRobin).with_engine(engine_cfg);
+        let fleet = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run_stream(&mix, stream.clone())
+            .unwrap();
+
+        let (solo, _) = ServingSim::new(&arch, &model, Deployment::single_device(), engine_cfg)
+            .unwrap()
+            .run_requests(stream.into_iter().map(|cr| cr.request).collect())
+            .unwrap();
+        assert_eq!(fleet.fleet.as_ref(), Some(&solo));
+        assert_eq!(fleet.per_replica[0].as_ref(), Some(&solo));
+        assert_eq!(fleet.imbalance, 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Cluster-level LLM serving: a fleet of engine replicas behind a router,
+//! serving multi-tenant traffic under per-class SLOs.
+//!
+//! The paper's serving evaluation (§V-D, Fig. 16) stops at a single
+//! engine; production systems front a *fleet* of replicas with a router
+//! and serve several traffic classes with different latency contracts at
+//! once. This crate adds that layer on top of [`ador_serving`]'s
+//! incremental [`Engine`](ador_serving::Engine) API:
+//!
+//! - **[`ClusterSim`]** — N independent engine replicas advanced in
+//!   lockstep on a shared event clock. For every arrival, each replica is
+//!   stepped up to the arrival instant and the router picks a target from
+//!   the live load snapshots; after the last arrival the fleet drains.
+//! - **[`Router`] / [`RouterPolicy`]** — pluggable routing:
+//!   round-robin (the count-balancing baseline), join-shortest-queue,
+//!   least-KV-load (token-backlog aware), and SLO-aware class
+//!   partitioning. Deterministic: ties break toward the lowest replica
+//!   index, so the same seed reproduces the same assignment trace.
+//! - **[`TenantMix`] / [`TenantClass`]** — multi-tenant workloads:
+//!   chatbot / summarization / code-completion presets with distinct
+//!   token-length marginals, SLO targets and arrival processes
+//!   ([`ArrivalProcess::Poisson`] plus the bursty
+//!   [`ArrivalProcess::OnOffMmpp`]), multiplexed into one seeded,
+//!   deterministic request stream.
+//! - **[`FleetReport`]** — fleet-wide QoS: the merged engine report
+//!   (via [`QosReport::merge`](ador_serving::QosReport::merge)),
+//!   per-tenant SLO attainment (shed requests count as misses),
+//!   per-replica utilization imbalance, and the full routing trace.
+//! - **[`cluster_capacity`]** — the fleet analogue of the paper's
+//!   Fig. 16 search: bisect the aggregate arrival rate (preserving the
+//!   per-class traffic shares) for the largest load at which every class
+//!   keeps its attainment target.
+//!
+//! Optional admission control ([`ClusterConfig::queue_cap`]) sheds
+//! requests when the chosen replica's queue is too deep; shed requests
+//! are tracked per tenant and count against attainment.
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_cluster::{ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix};
+//! use ador_perf::Deployment;
+//!
+//! let arch = ador_baselines::ador_table3();
+//! let model = ador_model::presets::llama3_8b();
+//! // A skewed two-tenant mix: steady chat plus bursty summarization.
+//! let mix = TenantMix::new(vec![
+//!     TenantClass::chatbot(5.0),
+//!     TenantClass::summarization(1.5),
+//! ]);
+//! let cfg = ClusterConfig::new(2, RouterPolicy::LeastKvLoad);
+//! let report = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)?
+//!     .run(&mix, 80, 3)?;
+//! assert_eq!(report.completed + report.rejected, 80);
+//! for tenant in &report.tenants {
+//!     println!("{}: attainment {:.2}", tenant.name, tenant.attainment);
+//! }
+//! # Ok::<(), ador_serving::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capacity;
+mod cluster;
+mod report;
+mod router;
+pub mod scenarios;
+mod tenant;
+
+pub use capacity::{cluster_capacity, ClusterCapacityResult};
+pub use cluster::{ClusterConfig, ClusterSim};
+pub use report::{FleetReport, TenantQos};
+pub use router::{ReplicaSnapshot, Router, RouterPolicy};
+pub use tenant::{ArrivalProcess, ClusterRequest, TenantClass, TenantMix};

@@ -1,0 +1,236 @@
+//! The cluster front door: pluggable request-to-replica routing policies.
+
+use std::fmt;
+
+use serde::Serialize;
+
+/// Which replica a router hands each arriving request to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum RouterPolicy {
+    /// Cycle through replicas in submission order, ignoring load. The
+    /// baseline every adaptive policy is judged against: it balances
+    /// request *counts*, not *work*, so heavy-tailed and bursty traffic
+    /// leaves some replicas drowning while others idle.
+    #[default]
+    RoundRobin,
+    /// Send each request to the replica with the fewest requests in its
+    /// system (queued + admitted). Classic adaptive load balancing; reacts
+    /// to queue buildup regardless of what caused it.
+    JoinShortestQueue,
+    /// Send each request to the replica with the lowest KV-cache demand:
+    /// resident tokens plus the committed backlog (queued prompts and
+    /// unfinished prefills), relative to the replica's KV budget. Token
+    /// demand tracks *work* rather than request count, so long-context
+    /// stragglers repel new work even when their queues look short —
+    /// and counting the backlog (not just residency, which lags while a
+    /// burst's prefills land) avoids herding whole bursts onto whichever
+    /// replica happened to look empty.
+    LeastKvLoad,
+    /// Partition replicas among SLO classes (replica `r` serves class
+    /// `r mod classes`) and join the shortest queue within the partition,
+    /// falling back to fleet-wide shortest-queue for classes with no
+    /// replicas of their own. Isolates latency-critical tenants from
+    /// bursty batch traffic at the cost of statistical multiplexing.
+    SloAware,
+}
+
+impl fmt::Display for RouterPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            RouterPolicy::RoundRobin => "round-robin",
+            RouterPolicy::JoinShortestQueue => "join-shortest-queue",
+            RouterPolicy::LeastKvLoad => "least-kv-load",
+            RouterPolicy::SloAware => "slo-aware",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A replica's load state at a routing decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ReplicaSnapshot {
+    /// Requests waiting for an engine slot (queued or submitted-but-future).
+    pub queue_depth: usize,
+    /// Requests currently admitted (prefilling or decoding).
+    pub active: usize,
+    /// KV-cache tokens resident.
+    pub kv_in_use: usize,
+    /// Committed-but-not-yet-resident KV demand: queued prompts plus
+    /// remaining prefill of admitted requests.
+    pub backlog_tokens: usize,
+    /// The replica's KV budget in tokens.
+    pub kv_budget_tokens: usize,
+}
+
+impl ReplicaSnapshot {
+    /// Requests in the replica's system: queued plus admitted.
+    pub fn load(&self) -> usize {
+        self.queue_depth + self.active
+    }
+
+    /// KV demand (resident plus committed backlog) relative to the
+    /// budget. Unlike utilization, this can exceed 1 under overload.
+    pub fn kv_load(&self) -> f64 {
+        (self.kv_in_use + self.backlog_tokens) as f64 / self.kv_budget_tokens.max(1) as f64
+    }
+}
+
+/// The routing state machine: a policy plus whatever memory it needs
+/// (only round-robin carries any). Fully deterministic: ties break toward
+/// the lowest replica index.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Router {
+    policy: RouterPolicy,
+    rr_next: usize,
+}
+
+impl Router {
+    /// Creates a router with the given policy.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Self { policy, rr_next: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// Picks the replica for a request from SLO class `tenant` (of
+    /// `classes` total), given the fleet's load snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is empty.
+    pub fn route(&mut self, tenant: usize, classes: usize, replicas: &[ReplicaSnapshot]) -> usize {
+        assert!(!replicas.is_empty(), "cannot route across zero replicas");
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                let idx = self.rr_next % replicas.len();
+                self.rr_next = self.rr_next.wrapping_add(1);
+                idx
+            }
+            RouterPolicy::JoinShortestQueue => argmin(0..replicas.len(), |i| replicas[i].load()),
+            RouterPolicy::LeastKvLoad => argmin(0..replicas.len(), |i| replicas[i].kv_load()),
+            RouterPolicy::SloAware => {
+                let classes = classes.max(1);
+                let partition: Vec<usize> = (0..replicas.len())
+                    .filter(|r| r % classes == tenant % classes)
+                    .collect();
+                if partition.is_empty() {
+                    argmin(0..replicas.len(), |i| replicas[i].load())
+                } else {
+                    argmin(partition.into_iter(), |i| replicas[i].load())
+                }
+            }
+        }
+    }
+}
+
+/// First index attaining the minimum (ties break toward the earliest
+/// candidate, so routing is deterministic). Load keys are counts or
+/// ratios of counts, never NaN.
+fn argmin<K: PartialOrd>(
+    candidates: impl Iterator<Item = usize>,
+    key: impl Fn(usize) -> K,
+) -> usize {
+    let mut best: Option<(usize, K)> = None;
+    for i in candidates {
+        let k = key(i);
+        if best.as_ref().is_none_or(|(_, bk)| k < *bk) {
+            best = Some((i, k));
+        }
+    }
+    best.expect("caller checks non-empty").0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(queue: usize, active: usize, kv: usize) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            queue_depth: queue,
+            active,
+            kv_in_use: kv,
+            backlog_tokens: 0,
+            kv_budget_tokens: 1000,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = Router::new(RouterPolicy::RoundRobin);
+        let snaps = vec![snap(9, 9, 900), snap(0, 0, 0), snap(0, 0, 0)];
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, 1, &snaps)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2], "ignores load by design");
+    }
+
+    #[test]
+    fn jsq_picks_least_loaded_with_low_index_ties() {
+        let mut r = Router::new(RouterPolicy::JoinShortestQueue);
+        assert_eq!(
+            r.route(0, 1, &[snap(3, 2, 0), snap(1, 2, 0), snap(4, 0, 0)]),
+            1
+        );
+        // Tie between 0 and 2 → lowest index.
+        assert_eq!(
+            r.route(0, 1, &[snap(1, 1, 0), snap(3, 0, 0), snap(2, 0, 0)]),
+            0
+        );
+        assert_eq!(
+            r.route(0, 1, &[snap(1, 0, 0), snap(2, 0, 0), snap(1, 0, 0)]),
+            0
+        );
+    }
+
+    #[test]
+    fn least_kv_routes_by_token_backlog_not_count() {
+        let mut r = Router::new(RouterPolicy::LeastKvLoad);
+        // Replica 0 has fewer requests but far more resident KV.
+        let snaps = vec![snap(0, 1, 800), snap(2, 2, 100)];
+        assert_eq!(r.route(0, 1, &snaps), 1);
+        let mut jsq = Router::new(RouterPolicy::JoinShortestQueue);
+        assert_eq!(jsq.route(0, 1, &snaps), 0, "JSQ sees it the other way");
+    }
+
+    #[test]
+    fn least_kv_counts_committed_backlog_not_just_residency() {
+        // Replica 0 looks empty by residency but has a burst of queued
+        // prompts committed to it; demand-aware routing avoids the herd.
+        let mut r = Router::new(RouterPolicy::LeastKvLoad);
+        let herd_target = ReplicaSnapshot {
+            queue_depth: 4,
+            active: 0,
+            kv_in_use: 0,
+            backlog_tokens: 700,
+            kv_budget_tokens: 1000,
+        };
+        let steady = ReplicaSnapshot {
+            queue_depth: 0,
+            active: 2,
+            kv_in_use: 300,
+            backlog_tokens: 0,
+            kv_budget_tokens: 1000,
+        };
+        assert_eq!(r.route(0, 1, &[herd_target, steady]), 1);
+    }
+
+    #[test]
+    fn slo_aware_partitions_by_class() {
+        let mut r = Router::new(RouterPolicy::SloAware);
+        let snaps = vec![snap(5, 0, 0), snap(0, 0, 0), snap(1, 0, 0), snap(9, 0, 0)];
+        // Two classes over four replicas: class 0 → {0, 2}, class 1 → {1, 3}.
+        assert_eq!(r.route(0, 2, &snaps), 2);
+        assert_eq!(r.route(1, 2, &snaps), 1);
+        // Three classes over one replica: class 2's partition is empty →
+        // fleet-wide fallback.
+        let one = vec![snap(0, 0, 0)];
+        assert_eq!(r.route(2, 3, &one), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicas")]
+    fn routing_across_no_replicas_panics() {
+        let _ = Router::new(RouterPolicy::RoundRobin).route(0, 1, &[]);
+    }
+}

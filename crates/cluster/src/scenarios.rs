@@ -1,0 +1,36 @@
+//! Pinned reference scenarios, shared so the regression test
+//! (`tests/cluster_serving.rs`), the `exp_cluster` bench table and the
+//! `fleet_serving` example all exercise the *same* configuration — the
+//! published numbers and the test that pins their ordering cannot drift
+//! apart.
+
+use ador_serving::SimConfig;
+
+use crate::{ClusterConfig, RouterPolicy, TenantClass, TenantMix};
+
+/// Aggregate arrival rate (req/s) of the pinned skewed-mix scenario.
+pub const SKEWED_MIX_RATE: f64 = 7.0;
+
+/// Request count of the pinned skewed-mix scenario.
+pub const SKEWED_MIX_REQUESTS: usize = 600;
+
+/// Workload seed of the pinned skewed-mix scenario.
+pub const SKEWED_MIX_SEED: u64 = 3;
+
+/// The skewed two-tenant mix: 70 % steady strict-SLO chat, 30 % bursty
+/// MMPP summarization with heavy prompts.
+pub fn skewed_two_tenant(aggregate: f64) -> TenantMix {
+    TenantMix::new(vec![
+        TenantClass::chatbot(aggregate * 0.7),
+        TenantClass::summarization(aggregate * 0.3),
+    ])
+}
+
+/// A fleet of 16-slot replicas whose KV memory is scarce (5 % fraction).
+/// Scarce KV makes placement quality visible: stacking KV-heavy work on
+/// one replica triggers preemption storms there, which is what separates
+/// the adaptive router policies from round-robin.
+pub fn scarce_kv_fleet(replicas: usize, policy: RouterPolicy) -> ClusterConfig {
+    ClusterConfig::new(replicas, policy)
+        .with_engine(SimConfig::new(1.0, 16).with_kv_memory_fraction(0.05))
+}

@@ -1,0 +1,432 @@
+//! Multi-tenant traffic: SLO classes, arrival processes, and the
+//! deterministic merged request stream a cluster serves.
+//!
+//! A [`TenantClass`] bundles what distinguishes one traffic class from
+//! another in a production fleet: its token-length marginals
+//! ([`TraceProfile`]), its latency contract ([`Slo`]), and its arrival
+//! process (steady Poisson or bursty on/off MMPP). A [`TenantMix`]
+//! multiplexes several classes into one seeded, arrival-sorted
+//! [`ClusterRequest`] stream.
+
+use ador_serving::{Request, Slo, TraceProfile};
+use ador_units::Seconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+/// A request tagged with the tenant class that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClusterRequest {
+    /// The underlying serving request.
+    pub request: Request,
+    /// Index of the issuing class within its [`TenantMix`].
+    pub tenant: usize,
+}
+
+/// How a tenant's requests arrive over time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant mean rate (req/s) — the paper's
+    /// Fig. 14b request generator.
+    Poisson {
+        /// Mean arrival rate, req/s.
+        rate: f64,
+    },
+    /// A two-state Markov-modulated Poisson process: exponential ON
+    /// sojourns emitting Poisson arrivals at `rate_on`, alternating with
+    /// silent exponential OFF sojourns. Models bursty tenants (batch jobs,
+    /// diurnal spikes) whose time-averaged rate understates their peaks.
+    OnOffMmpp {
+        /// Arrival rate while ON, req/s.
+        rate_on: f64,
+        /// Mean ON-sojourn duration.
+        mean_on: Seconds,
+        /// Mean OFF-sojourn duration.
+        mean_off: Seconds,
+    },
+}
+
+impl ArrivalProcess {
+    /// The long-run mean arrival rate in req/s (for MMPP, the ON rate
+    /// scaled by the ON duty cycle).
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate } => rate,
+            ArrivalProcess::OnOffMmpp {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => rate_on * mean_on.get() / (mean_on.get() + mean_off.get()),
+        }
+    }
+
+    /// Scales the mean rate by `factor`, preserving the burst structure
+    /// (MMPP sojourn durations are untouched; only the ON rate scales).
+    pub fn scaled(self, factor: f64) -> Self {
+        match self {
+            ArrivalProcess::Poisson { rate } => ArrivalProcess::Poisson {
+                rate: rate * factor,
+            },
+            ArrivalProcess::OnOffMmpp {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => ArrivalProcess::OnOffMmpp {
+                rate_on: rate_on * factor,
+                mean_on,
+                mean_off,
+            },
+        }
+    }
+
+    /// Draws `count` arrival times from simulation start.
+    fn sample_arrivals(&self, rng: &mut StdRng, count: usize) -> Vec<Seconds> {
+        let mut arrivals = Vec::with_capacity(count);
+        match *self {
+            ArrivalProcess::Poisson { rate } => {
+                let mut now = 0.0;
+                for _ in 0..count {
+                    now += exp_sample(rng, 1.0 / rate);
+                    arrivals.push(Seconds::new(now));
+                }
+            }
+            ArrivalProcess::OnOffMmpp {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => {
+                let mut now = 0.0;
+                let mut on_end = exp_sample(rng, mean_on.get());
+                while arrivals.len() < count {
+                    // Exponential gaps are memoryless, so redrawing after a
+                    // state boundary keeps the process exact.
+                    let gap = exp_sample(rng, 1.0 / rate_on);
+                    if now + gap <= on_end {
+                        now += gap;
+                        arrivals.push(Seconds::new(now));
+                    } else {
+                        now = on_end + exp_sample(rng, mean_off.get());
+                        on_end = now + exp_sample(rng, mean_on.get());
+                    }
+                }
+            }
+        }
+        arrivals
+    }
+
+    fn validate(&self) {
+        let ok = match *self {
+            ArrivalProcess::Poisson { rate } => rate.is_finite() && rate > 0.0,
+            ArrivalProcess::OnOffMmpp {
+                rate_on,
+                mean_on,
+                mean_off,
+            } => {
+                rate_on.is_finite() && rate_on > 0.0 && mean_on.get() > 0.0 && mean_off.get() >= 0.0
+            }
+        };
+        assert!(ok, "arrival process must have positive rates: {self:?}");
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean
+}
+
+/// One traffic class: a name, token-length marginals, an SLO contract and
+/// an arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantClass {
+    /// Human-readable class name (report labels).
+    pub name: String,
+    /// Prompt/response token-length marginals.
+    pub profile: TraceProfile,
+    /// The latency contract this class's requests are judged against.
+    pub slo: Slo,
+    /// The class's arrival process.
+    pub arrivals: ArrivalProcess,
+}
+
+impl TenantClass {
+    /// Creates a class, validating the arrival process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrival process has a non-positive rate.
+    pub fn new(
+        name: impl Into<String>,
+        profile: TraceProfile,
+        slo: Slo,
+        arrivals: ArrivalProcess,
+    ) -> Self {
+        arrivals.validate();
+        Self {
+            name: name.into(),
+            profile,
+            slo,
+            arrivals,
+        }
+    }
+
+    /// Interactive chatbot traffic: ultrachat-like lengths, the paper's
+    /// strict SLO (25 ms TBT), steady Poisson arrivals.
+    pub fn chatbot(rate: f64) -> Self {
+        Self::new(
+            "chatbot",
+            TraceProfile::ultrachat_like(),
+            Slo::strict(),
+            ArrivalProcess::Poisson { rate },
+        )
+    }
+
+    /// Long-document summarization: heavy prompts, the paper's relaxed SLO
+    /// (50 ms TBT), and bursty on/off MMPP arrivals (4 s ON spells at 4×
+    /// the mean rate, 12 s OFF) — batch-style traffic whose peaks stress
+    /// the fleet far beyond its time-averaged rate.
+    pub fn summarization(mean_rate: f64) -> Self {
+        let mean_on = Seconds::new(4.0);
+        let mean_off = Seconds::new(12.0);
+        let duty = mean_on.get() / (mean_on.get() + mean_off.get());
+        Self::new(
+            "summarization",
+            TraceProfile::summarization(),
+            Slo::relaxed(),
+            ArrivalProcess::OnOffMmpp {
+                rate_on: mean_rate / duty,
+                mean_on,
+                mean_off,
+            },
+        )
+    }
+
+    /// Code completion: mid-size prompts, very short responses, and the
+    /// tightest contract of the three presets (400 ms TTFT / 25 ms TBT —
+    /// an editor keystroke cannot wait for a queue).
+    pub fn code_completion(rate: f64) -> Self {
+        let profile = TraceProfile {
+            input_mu: 512.0_f64.ln(),
+            input_sigma: 0.8,
+            output_mu: 32.0_f64.ln(),
+            output_sigma: 0.6,
+            max_tokens: 2048,
+        };
+        let slo = Slo {
+            ttft_max: Some(Seconds::from_millis(400.0)),
+            tbt_max: Some(Seconds::from_millis(25.0)),
+        };
+        Self::new(
+            "code-completion",
+            profile,
+            slo,
+            ArrivalProcess::Poisson { rate },
+        )
+    }
+}
+
+/// A multiplex of tenant classes: the workload a cluster serves.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TenantMix {
+    classes: Vec<TenantClass>,
+}
+
+impl TenantMix {
+    /// Creates a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn new(classes: Vec<TenantClass>) -> Self {
+        assert!(!classes.is_empty(), "a tenant mix needs at least one class");
+        Self { classes }
+    }
+
+    /// The classes in index order (the index is the `tenant` tag on
+    /// generated requests).
+    pub fn classes(&self) -> &[TenantClass] {
+        &self.classes
+    }
+
+    /// The combined long-run mean arrival rate, req/s.
+    pub fn aggregate_rate(&self) -> f64 {
+        self.classes.iter().map(|c| c.arrivals.mean_rate()).sum()
+    }
+
+    /// Rescales every class's arrival process so the aggregate mean rate
+    /// becomes `total` req/s, preserving the per-class traffic shares and
+    /// burst structure. This is the knob `cluster_capacity` bisects.
+    pub fn with_aggregate_rate(mut self, total: f64) -> Self {
+        let current = self.aggregate_rate();
+        assert!(
+            total > 0.0 && current > 0.0,
+            "aggregate rates must be positive"
+        );
+        let factor = total / current;
+        for class in &mut self.classes {
+            class.arrivals = class.arrivals.scaled(factor);
+        }
+        self
+    }
+
+    /// Generates the first `count` requests of the multiplexed stream:
+    /// each class draws its own seeded arrival/length sequence, the
+    /// per-class streams merge by arrival time, and ids are assigned in
+    /// merged order (`0..count`). Fully deterministic under `seed`.
+    pub fn generate(&self, count: usize, seed: u64) -> Vec<ClusterRequest> {
+        let mut merged: Vec<(Seconds, usize, usize, usize)> = Vec::new();
+        for (tenant, class) in self.classes.iter().enumerate() {
+            // Decorrelate classes with a per-class seed; any class alone
+            // can supply the whole truncated stream, so `count` draws each
+            // is always enough.
+            let mut rng = StdRng::seed_from_u64(
+                seed.wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            );
+            for arrival in class.arrivals.sample_arrivals(&mut rng, count) {
+                let input = class.profile.sample_input(&mut rng);
+                let output = class.profile.sample_output(&mut rng);
+                merged.push((arrival, tenant, input, output));
+            }
+        }
+        merged.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("arrival times are never NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        merged
+            .into_iter()
+            .take(count)
+            .enumerate()
+            .map(|(id, (arrival, tenant, input, output))| ClusterRequest {
+                request: Request::new(id as u64, arrival, input, output),
+                tenant,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_mean_rate_is_the_rate() {
+        let p = ArrivalProcess::Poisson { rate: 7.5 };
+        assert_eq!(p.mean_rate(), 7.5);
+    }
+
+    #[test]
+    fn mmpp_mean_rate_uses_duty_cycle() {
+        let p = ArrivalProcess::OnOffMmpp {
+            rate_on: 8.0,
+            mean_on: Seconds::new(1.0),
+            mean_off: Seconds::new(3.0),
+        };
+        assert!((p.mean_rate() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mmpp_arrivals_converge_to_the_mean_rate() {
+        let p = ArrivalProcess::OnOffMmpp {
+            rate_on: 20.0,
+            mean_on: Seconds::new(2.0),
+            mean_off: Seconds::new(6.0),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let arrivals = p.sample_arrivals(&mut rng, 8000);
+        let span = arrivals.last().unwrap().get();
+        let measured = arrivals.len() as f64 / span;
+        assert!(
+            (measured - p.mean_rate()).abs() / p.mean_rate() < 0.15,
+            "measured {measured:.2} vs mean {:.2}",
+            p.mean_rate()
+        );
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_at_equal_mean_rate() {
+        // Squared coefficient of variation of inter-arrival gaps: 1 for
+        // Poisson, > 1 for an on/off MMPP.
+        let cv2 = |p: &ArrivalProcess| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let arrivals = p.sample_arrivals(&mut rng, 6000);
+            let gaps: Vec<f64> = arrivals.windows(2).map(|w| (w[1] - w[0]).get()).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+            var / (mean * mean)
+        };
+        let poisson = cv2(&ArrivalProcess::Poisson { rate: 2.0 });
+        let mmpp = cv2(&ArrivalProcess::OnOffMmpp {
+            rate_on: 8.0,
+            mean_on: Seconds::new(1.0),
+            mean_off: Seconds::new(3.0),
+        });
+        assert!((poisson - 1.0).abs() < 0.25, "poisson cv² {poisson:.2}");
+        assert!(mmpp > 1.5, "mmpp cv² {mmpp:.2} should be super-Poisson");
+    }
+
+    #[test]
+    fn generated_stream_is_deterministic_and_sorted() {
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(4.0),
+            TenantClass::summarization(1.0),
+        ]);
+        let a = mix.generate(200, 42);
+        let b = mix.generate(200, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].request.arrival <= w[1].request.arrival));
+        // Ids are the merged order.
+        assert!(a.iter().enumerate().all(|(i, r)| r.request.id == i as u64));
+        // Both classes contribute.
+        assert!(a.iter().any(|r| r.tenant == 0));
+        assert!(a.iter().any(|r| r.tenant == 1));
+        let c = mix.generate(200, 43);
+        assert_ne!(a, c, "the seed must reach every class's stream");
+    }
+
+    #[test]
+    fn rescaling_preserves_shares() {
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(6.0),
+            TenantClass::summarization(2.0),
+        ]);
+        let scaled = mix.clone().with_aggregate_rate(16.0);
+        assert!((scaled.aggregate_rate() - 16.0).abs() < 1e-9);
+        let share = |m: &TenantMix| m.classes()[0].arrivals.mean_rate() / m.aggregate_rate();
+        assert!((share(&mix) - share(&scaled)).abs() < 1e-9);
+        // Burst structure is preserved: sojourn times untouched.
+        match (mix.classes()[1].arrivals, scaled.classes()[1].arrivals) {
+            (
+                ArrivalProcess::OnOffMmpp {
+                    mean_on: a,
+                    mean_off: b,
+                    ..
+                },
+                ArrivalProcess::OnOffMmpp {
+                    mean_on: c,
+                    mean_off: d,
+                    ..
+                },
+            ) => {
+                assert_eq!(a, c);
+                assert_eq!(b, d);
+            }
+            _ => panic!("summarization preset must be MMPP"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn empty_mix_rejected() {
+        let _ = TenantMix::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive rates")]
+    fn zero_rate_class_rejected() {
+        let _ = TenantClass::chatbot(0.0);
+    }
+}

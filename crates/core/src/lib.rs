@@ -16,6 +16,8 @@
 //! * [`parallel`] — tensor/pipeline parallelism planning and scaling;
 //! * [`perf`] — the operator-level performance model and compiler stack;
 //! * [`serving`] — the discrete-event serving simulator and QoS metrics;
+//! * [`cluster`] — multi-replica fleets: routing policies, multi-tenant
+//!   traffic and fleet-wide QoS;
 //! * [`search`] — the design-space search;
 //! * [`baselines`] — A100 / H100 / TPUv4 / Groq TSP / LLMCompass designs.
 //!
@@ -45,6 +47,7 @@
 #![warn(missing_docs)]
 
 pub use ador_baselines as baselines;
+pub use ador_cluster as cluster;
 pub use ador_hw as hw;
 pub use ador_model as model;
 pub use ador_noc as noc;

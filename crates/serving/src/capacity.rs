@@ -52,43 +52,55 @@ pub fn max_capacity(
     base_cfg: SimConfig,
     profile: TraceProfile,
     slo: Slo,
-    (lo, hi): (f64, f64),
+    bounds: (f64, f64),
     iterations: usize,
 ) -> Result<CapacityResult, SimError> {
-    if !(lo > 0.0 && hi > lo) {
-        return Err(SimError::InvalidBounds { lo, hi });
-    }
-    let run = |rate: f64| -> Result<QosReport, SimError> {
+    let (rate, report) = bisect_rate(bounds, iterations, |rate| -> Result<_, SimError> {
         let cfg = base_cfg.with_arrival_rate(rate);
-        ServingSim::new(arch, model, deployment, cfg)?.run(profile)
-    };
+        let report = ServingSim::new(arch, model, deployment, cfg)?.run(profile)?;
+        Ok((slo.attained(&report), report))
+    })?;
+    Ok(CapacityResult { rate, report })
+}
 
-    let lo_report = run(lo)?;
-    if !slo.attained(&lo_report) {
-        return Ok(CapacityResult {
-            rate: 0.0,
-            report: lo_report,
-        });
+/// Bisects an arrival-rate bracket for the largest rate whose probe
+/// passes. The generic core of [`max_capacity`], shared with fleet-level
+/// searches (`ador-cluster`'s `cluster_capacity`): `probe(rate)` runs a
+/// simulation at that rate and returns whether its QoS criterion held,
+/// plus the measurement to hand back to the caller.
+///
+/// `lo` must be sustainable; if even `lo` fails the probe, the result rate
+/// is `0.0` with the `lo` measurement attached so callers can inspect why.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidBounds`] (via `E: From<SimError>`) unless
+/// `0 < lo < hi`, and propagates probe errors.
+pub fn bisect_rate<T, E: From<SimError>>(
+    (lo, hi): (f64, f64),
+    iterations: usize,
+    mut probe: impl FnMut(f64) -> Result<(bool, T), E>,
+) -> Result<(f64, T), E> {
+    if !(lo > 0.0 && hi > lo) {
+        return Err(SimError::InvalidBounds { lo, hi }.into());
     }
-
-    let mut best_rate = lo;
-    let mut best_report = lo_report;
+    let (lo_ok, lo_measurement) = probe(lo)?;
+    if !lo_ok {
+        return Ok((0.0, lo_measurement));
+    }
+    let mut best = (lo, lo_measurement);
     let (mut lo, mut hi) = (lo, hi);
     for _ in 0..iterations {
         let mid = 0.5 * (lo + hi);
-        let report = run(mid)?;
-        if slo.attained(&report) {
-            best_rate = mid;
-            best_report = report;
+        let (ok, measurement) = probe(mid)?;
+        if ok {
+            best = (mid, measurement);
             lo = mid;
         } else {
             hi = mid;
         }
     }
-    Ok(CapacityResult {
-        rate: best_rate,
-        report: best_report,
-    })
+    Ok(best)
 }
 
 #[cfg(test)]

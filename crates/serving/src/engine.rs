@@ -1,0 +1,750 @@
+//! The incremental engine core: the continuous-batching scheduler of
+//! [`ServingSim`](crate::ServingSim), exposed one iteration at a time.
+//!
+//! [`ServingSim::run_requests`](crate::ServingSim::run_requests) drives an
+//! [`Engine`] to completion internally; multi-replica drivers (the
+//! `ador-cluster` crate) instead interleave several engines on a shared
+//! event clock: submit a request to one replica, [`Engine::step_until`]
+//! the others up to the next arrival, and route based on the live
+//! [`Engine::queue_depth`] / [`Engine::kv_in_use`] state.
+//!
+//! The scheduling semantics — chunked prefill against a shared
+//! per-iteration token budget, token-granular KV accounting, and
+//! youngest-first preemption with recompute-on-resume — are documented on
+//! [`crate::ServingSim`]; this module only changes *who advances the
+//! clock*, not what one iteration does.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+use ador_perf::Evaluator;
+use ador_units::Seconds;
+
+use crate::sim::{SchedulerPolicy, SimConfig, SimError};
+use crate::{EngineCounters, QosReport, Request, RequestOutcome};
+
+const CTX_BUCKET: usize = 128;
+
+/// Per-request scheduler state that survives preemption.
+#[derive(Debug)]
+struct Job {
+    request: Request,
+    /// Tokens generated so far. Survives preemption: the tokens are not
+    /// re-emitted, but their KV is recomputed on resume.
+    generated: usize,
+    first_token_at: Option<Seconds>,
+    last_token_at: Option<Seconds>,
+    tbt_sum: Seconds,
+    tbt_max: Seconds,
+    tbt_count: usize,
+}
+
+impl Job {
+    fn new(request: Request) -> Self {
+        Self {
+            request,
+            generated: 0,
+            first_token_at: None,
+            last_token_at: None,
+            tbt_sum: Seconds::ZERO,
+            tbt_max: Seconds::ZERO,
+            tbt_count: 0,
+        }
+    }
+
+    /// Tokens a (re)admission must prefill before decoding: the prompt plus
+    /// any previously generated tokens whose KV was dropped at preemption.
+    fn prefill_target(&self) -> usize {
+        self.request.input_tokens + self.generated
+    }
+
+    /// Records one emitted token at `now`. The first token sets TTFT; every
+    /// later one contributes the gap since the previous token to the TBT
+    /// stats — including any preemption stall.
+    fn emit_token(&mut self, now: Seconds) {
+        if self.first_token_at.is_none() {
+            self.first_token_at = Some(now);
+        } else if let Some(last) = self.last_token_at {
+            let gap = now - last;
+            self.tbt_sum += gap;
+            self.tbt_max = self.tbt_max.max(gap);
+            self.tbt_count += 1;
+        }
+        self.last_token_at = Some(now);
+        self.generated += 1;
+    }
+
+    fn done(&self) -> bool {
+        self.generated >= self.request.output_tokens
+    }
+}
+
+/// An admitted request: its job plus prefill progress and resident KV.
+#[derive(Debug)]
+struct Active {
+    job: Job,
+    /// Tokens prefilled so far in the current pass.
+    prefilled: usize,
+    /// Tokens the current pass must prefill before decoding.
+    prefill_target: usize,
+    /// KV tokens currently resident for this request.
+    kv_held: usize,
+}
+
+impl Active {
+    fn admit(job: Job) -> Self {
+        let prefill_target = job.prefill_target();
+        Self {
+            job,
+            prefilled: 0,
+            prefill_target,
+            kv_held: 0,
+        }
+    }
+
+    fn is_decoding(&self) -> bool {
+        self.prefilled == self.prefill_target
+    }
+}
+
+/// What one [`Engine::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepEvent {
+    /// Nothing to do: the engine is fully drained, or (under
+    /// [`Engine::step_bounded`]) its next arrival lies beyond the horizon.
+    Idle,
+    /// The engine was empty and its clock jumped to the next pending
+    /// arrival; no work was performed.
+    Jumped,
+    /// One fused engine iteration ran.
+    Worked {
+        /// Wall-clock duration of the iteration.
+        step_time: Seconds,
+        /// Requests that emitted their final token this iteration.
+        completed: usize,
+    },
+}
+
+/// The incremental scheduler core: the state of one engine replica,
+/// advanced one continuous-batching iteration per [`Engine::step`] call.
+///
+/// Obtained from [`ServingSim::engine`](crate::ServingSim::engine).
+/// Requests enter via [`Engine::submit`] (any time, in any arrival order)
+/// and leave as [`RequestOutcome`]s once their final token is emitted.
+///
+/// # Examples
+///
+/// ```
+/// use ador_serving::{Request, ServingSim, SimConfig, StepEvent};
+/// use ador_perf::Deployment;
+/// use ador_units::Seconds;
+///
+/// let arch = ador_baselines::ador_table3();
+/// let model = ador_model::presets::llama3_8b();
+/// let sim = ServingSim::new(&arch, &model, Deployment::single_device(),
+///                           SimConfig::new(1.0, 8))?;
+/// let mut engine = sim.engine();
+/// engine.submit(Request::new(0, Seconds::ZERO, 128, 4))?;
+/// while engine.step()? != StepEvent::Idle {}
+/// assert_eq!(engine.completed(), 1);
+/// # Ok::<(), ador_serving::SimError>(())
+/// ```
+pub struct Engine<'a> {
+    evaluator: Evaluator<'a>,
+    cfg: SimConfig,
+    kv_budget_tokens: usize,
+    decode_cache: HashMap<(usize, usize), Seconds>,
+    prefill_cache: HashMap<(usize, usize), Seconds>,
+
+    /// Submitted requests that have not yet reached the admission queue
+    /// (their arrival lies at or beyond the current clock), sorted by
+    /// arrival.
+    pending: VecDeque<Request>,
+    /// The admission queue: arrived but not yet admitted jobs. Preempted
+    /// jobs re-enter at the front.
+    waiting: VecDeque<Job>,
+    active: Vec<Active>,
+    outcomes: Vec<RequestOutcome>,
+    now: Seconds,
+    kv_in_use: usize,
+    submitted: usize,
+
+    steps: usize,
+    batch_samples: f64,
+    queue_samples: f64,
+    peak_batch: usize,
+    peak_queue: usize,
+    peak_kv: usize,
+    preemptions: usize,
+    prev_step_prefilled: bool,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn from_parts(
+        evaluator: Evaluator<'a>,
+        cfg: SimConfig,
+        kv_budget_tokens: usize,
+    ) -> Self {
+        Self {
+            evaluator,
+            cfg,
+            kv_budget_tokens,
+            decode_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+            pending: VecDeque::new(),
+            waiting: VecDeque::new(),
+            active: Vec::new(),
+            outcomes: Vec::new(),
+            now: Seconds::ZERO,
+            kv_in_use: 0,
+            submitted: 0,
+            steps: 0,
+            batch_samples: 0.0,
+            queue_samples: 0.0,
+            peak_batch: 0,
+            peak_queue: 0,
+            peak_kv: 0,
+            preemptions: 0,
+            prev_step_prefilled: false,
+        }
+    }
+
+    /// Submits a request. Arrivals may be submitted in any order (the
+    /// pending set stays sorted) and may lie in the engine's past, in which
+    /// case the request joins the admission queue at the next step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidRequest`] for a zero-length prompt or
+    /// response and [`SimError::NoKvHeadroom`] if the request's full
+    /// context can never fit the KV budget (admitting it would wedge the
+    /// queue).
+    pub fn submit(&mut self, request: Request) -> Result<(), SimError> {
+        if request.input_tokens == 0 || request.output_tokens == 0 {
+            return Err(SimError::InvalidRequest { id: request.id });
+        }
+        if request.total_tokens() > self.kv_budget_tokens {
+            return Err(SimError::NoKvHeadroom {
+                budget_tokens: self.kv_budget_tokens,
+            });
+        }
+        let pos = self
+            .pending
+            .partition_point(|q| q.arrival <= request.arrival);
+        self.pending.insert(pos, request);
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// The engine clock: time consumed by iterations so far (plus idle
+    /// jumps to arrivals).
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Requests submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Requests that have emitted their final token.
+    pub fn completed(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Requests inside the engine: pending + queued + admitted.
+    pub fn in_flight(&self) -> usize {
+        debug_assert_eq!(
+            self.pending.len() + self.waiting.len() + self.active.len(),
+            self.submitted - self.outcomes.len(),
+            "engine request ledger out of balance"
+        );
+        self.pending.len() + self.waiting.len() + self.active.len()
+    }
+
+    /// Requests waiting for an engine slot (queued or not yet arrived) —
+    /// the load signal a join-shortest-queue router balances.
+    pub fn queue_depth(&self) -> usize {
+        self.pending.len() + self.waiting.len()
+    }
+
+    /// Requests currently admitted (prefilling or decoding).
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// KV-cache tokens currently resident.
+    pub fn kv_in_use(&self) -> usize {
+        self.kv_in_use
+    }
+
+    /// Committed-but-not-yet-resident KV demand: prompt (plus
+    /// recompute-on-resume) tokens of every queued request and the
+    /// remaining prefill of every admitted one. Resident KV alone is a
+    /// lagging load signal — a replica that just received a burst still
+    /// looks empty until the prefills land — so token-backlog-aware
+    /// routers balance `kv_in_use + backlog_tokens` instead.
+    pub fn backlog_tokens(&self) -> usize {
+        let pending: usize = self.pending.iter().map(|r| r.input_tokens).sum();
+        let waiting: usize = self.waiting.iter().map(Job::prefill_target).sum();
+        let active: usize = self
+            .active
+            .iter()
+            .map(|a| a.prefill_target - a.prefilled)
+            .sum();
+        pending + waiting + active
+    }
+
+    /// The KV budget in tokens (across the whole deployment).
+    pub fn kv_budget_tokens(&self) -> usize {
+        self.kv_budget_tokens
+    }
+
+    /// Whether every submitted request has completed.
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty() && self.waiting.is_empty() && self.active.is_empty()
+    }
+
+    /// Completed-request outcomes so far, in completion order.
+    pub fn outcomes(&self) -> &[RequestOutcome] {
+        &self.outcomes
+    }
+
+    /// Consumes the engine, returning the completed outcomes.
+    pub fn into_outcomes(self) -> Vec<RequestOutcome> {
+        self.outcomes
+    }
+
+    /// Engine-level counters accumulated so far.
+    pub fn counters(&self) -> EngineCounters {
+        let per_step = |sum: f64| {
+            if self.steps == 0 {
+                0.0
+            } else {
+                sum / self.steps as f64
+            }
+        };
+        EngineCounters {
+            mean_batch: per_step(self.batch_samples),
+            peak_batch: self.peak_batch,
+            preemptions: self.preemptions,
+            mean_queue_depth: per_step(self.queue_samples),
+            peak_queue_depth: self.peak_queue,
+            peak_kv_tokens: self.peak_kv,
+        }
+    }
+
+    /// The QoS report over the outcomes so far, or `None` if no request
+    /// has completed yet (a replica may legitimately receive no traffic).
+    pub fn report(&self) -> Option<QosReport> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        Some(QosReport::from_outcomes(
+            &self.outcomes,
+            self.now,
+            self.counters(),
+        ))
+    }
+
+    /// Advances the engine by one iteration (or one idle jump to the next
+    /// arrival). Returns [`StepEvent::Idle`] once drained.
+    ///
+    /// # Errors
+    ///
+    /// Propagates performance-model errors ([`SimError::Perf`]).
+    pub fn step(&mut self) -> Result<StepEvent, SimError> {
+        self.step_inner(None)
+    }
+
+    /// Like [`Engine::step`], but an empty engine will not jump its clock
+    /// to an arrival beyond `horizon` (it reports [`StepEvent::Idle`]
+    /// instead). A busy engine still runs its iteration to completion even
+    /// if that carries the clock past `horizon`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates performance-model errors ([`SimError::Perf`]).
+    pub fn step_bounded(&mut self, horizon: Seconds) -> Result<StepEvent, SimError> {
+        self.step_inner(Some(horizon))
+    }
+
+    /// Steps until the clock reaches `horizon` or no work remains before
+    /// it. Used by cluster drivers to advance every replica to the next
+    /// routing decision point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates performance-model errors ([`SimError::Perf`]).
+    pub fn step_until(&mut self, horizon: Seconds) -> Result<(), SimError> {
+        while self.now < horizon {
+            if self.step_bounded(horizon)? == StepEvent::Idle {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn step_inner(&mut self, horizon: Option<Seconds>) -> Result<StepEvent, SimError> {
+        loop {
+            // Move arrivals into the admission queue (preempted jobs were
+            // pushed to the front and resume first).
+            while self.pending.front().is_some_and(|r| r.arrival <= self.now) {
+                self.waiting
+                    .push_back(Job::new(self.pending.pop_front().expect("peeked")));
+            }
+            if self.active.is_empty() && self.waiting.is_empty() {
+                match self.pending.front() {
+                    Some(next) if horizon.is_none_or(|h| next.arrival <= h) => {
+                        self.now = next.arrival;
+                        return Ok(StepEvent::Jumped);
+                    }
+                    _ => return Ok(StepEvent::Idle),
+                }
+            }
+
+            // KV pressure: one decode step grows every decoding context by
+            // a token. Preempt youngest-first — never the oldest, so the
+            // engine always drains — until the growth fits the budget.
+            let mut decoders = self.active.iter().filter(|a| a.is_decoding()).count();
+            while self.kv_in_use + decoders > self.kv_budget_tokens && self.active.len() > 1 {
+                if self.preempt_youngest() {
+                    decoders -= 1;
+                }
+            }
+
+            // Prefill schedule: continue in-flight prefills oldest-first,
+            // then admit from the queue head, sharing one `prefill_chunk`
+            // token budget. A chunk that completes a pass also reserves the
+            // +1 KV token of the first token it emits.
+            let prefill_allowed = match self.cfg.policy {
+                SchedulerPolicy::Fused => true,
+                SchedulerPolicy::DecodePrioritized => decoders == 0 || !self.prev_step_prefilled,
+            };
+            let mut chunk_budget = if prefill_allowed {
+                self.cfg.prefill_chunk
+            } else {
+                0
+            };
+            let mut kv_headroom = self.kv_budget_tokens - self.kv_in_use - decoders;
+            let mut chunks: Vec<(usize, usize)> = Vec::new();
+            for (i, a) in self.active.iter().enumerate() {
+                if chunk_budget == 0 {
+                    break;
+                }
+                if a.is_decoding() {
+                    continue;
+                }
+                let remaining = a.prefill_target - a.prefilled;
+                let take = chunk_take(remaining, chunk_budget, kv_headroom);
+                if take == 0 {
+                    break;
+                }
+                chunk_budget -= take;
+                kv_headroom -= take + usize::from(take == remaining);
+                chunks.push((i, take));
+            }
+            while chunk_budget > 0 && self.active.len() < self.cfg.max_batch {
+                let Some(job) = self.waiting.front() else {
+                    break;
+                };
+                let take = chunk_take(job.prefill_target(), chunk_budget, kv_headroom);
+                if take == 0 {
+                    break;
+                }
+                let job = self.waiting.pop_front().expect("peeked");
+                let remaining = job.prefill_target();
+                chunk_budget -= take;
+                kv_headroom -= take + usize::from(take == remaining);
+                chunks.push((self.active.len(), take));
+                self.active.push(Active::admit(job));
+            }
+
+            // All actives mid-prefill with zero headroom and nobody
+            // decoding: evict the youngest so the oldest can proceed.
+            if decoders == 0 && chunks.is_empty() && self.active.len() > 1 {
+                self.preempt_youngest();
+                continue;
+            }
+
+            // Timing: one fused engine iteration.
+            let prefill_tokens: usize = chunks.iter().map(|&(_, t)| t).sum();
+            let decoding_now: Vec<bool> = self.active.iter().map(Active::is_decoding).collect();
+            let mut step_time = Seconds::ZERO;
+            if prefill_tokens > 0 {
+                let mean_chunk = (prefill_tokens / chunks.len()).max(1);
+                step_time += self.prefill_time(chunks.len(), mean_chunk)?;
+            }
+            if decoders > 0 {
+                let ctx_sum: usize = self
+                    .active
+                    .iter()
+                    .filter(|a| a.is_decoding())
+                    .map(|a| a.kv_held)
+                    .sum();
+                step_time += self.decode_time(decoders, (ctx_sum / decoders).max(1))?;
+            }
+            self.now += step_time;
+            self.steps += 1;
+            self.prev_step_prefilled = prefill_tokens > 0;
+
+            // Apply prefill progress token-granularly.
+            let mut received = vec![0usize; self.active.len()];
+            for &(i, take) in &chunks {
+                received[i] = take;
+                let a = &mut self.active[i];
+                a.prefilled += take;
+                a.kv_held += take;
+                self.kv_in_use += take;
+            }
+
+            // Token emission: every request that decoded this step, plus
+            // every request whose prefill pass just completed (its first —
+            // or, after preemption, next — token comes out of the fused
+            // step). This is also the decode-batch occupancy sample, taken
+            // after same-step admissions so fresh decoders are counted.
+            let mut batch_now = 0usize;
+            let mut finished: Vec<usize> = Vec::new();
+            for i in 0..self.active.len() {
+                let emitted = decoding_now[i] || (received[i] > 0 && self.active[i].is_decoding());
+                if !emitted {
+                    continue;
+                }
+                batch_now += 1;
+                let a = &mut self.active[i];
+                a.kv_held += 1;
+                self.kv_in_use += 1;
+                a.job.emit_token(self.now);
+                if a.job.done() {
+                    finished.push(i);
+                }
+            }
+            let completed = finished.len();
+            for &i in finished.iter().rev() {
+                let a = self.active.remove(i);
+                self.kv_in_use -= a.kv_held;
+                self.outcomes.push(finish(a.job, self.now));
+            }
+
+            self.batch_samples += batch_now as f64;
+            self.peak_batch = self.peak_batch.max(batch_now);
+            self.queue_samples += self.waiting.len() as f64;
+            self.peak_queue = self.peak_queue.max(self.waiting.len());
+            self.peak_kv = self.peak_kv.max(self.kv_in_use);
+            debug_assert_eq!(
+                self.kv_in_use,
+                self.active.iter().map(|a| a.kv_held).sum::<usize>(),
+                "KV ledger must equal the sum of live contexts"
+            );
+            debug_assert!(
+                self.kv_in_use <= self.kv_budget_tokens,
+                "KV in use ({}) exceeded the budget ({})",
+                self.kv_in_use,
+                self.kv_budget_tokens
+            );
+            return Ok(StepEvent::Worked {
+                step_time,
+                completed,
+            });
+        }
+    }
+
+    /// Pauses the youngest admitted request: releases its KV back to the
+    /// pool and returns its job to the head of the admission queue for
+    /// resume. Returns whether the victim was decoding (so callers can
+    /// adjust their decoder count). The caller guarantees `active` is
+    /// non-empty and never preempts down to zero, preserving forward
+    /// progress for the oldest.
+    fn preempt_youngest(&mut self) -> bool {
+        let victim = self.active.pop().expect("caller checks non-empty");
+        let was_decoding = victim.is_decoding();
+        self.kv_in_use -= victim.kv_held;
+        self.preemptions += 1;
+        self.waiting.push_front(victim.job);
+        was_decoding
+    }
+
+    fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
+        let key = (batch, context.div_ceil(CTX_BUCKET) * CTX_BUCKET);
+        if let Some(&t) = self.decode_cache.get(&key) {
+            return Ok(t);
+        }
+        let t = self.evaluator.decode_interval(batch, key.1)?;
+        self.decode_cache.insert(key, t);
+        Ok(t)
+    }
+
+    fn prefill_time(&mut self, batch: usize, prompt: usize) -> Result<Seconds, SimError> {
+        let key = (batch, prompt.div_ceil(CTX_BUCKET) * CTX_BUCKET);
+        if let Some(&t) = self.prefill_cache.get(&key) {
+            return Ok(t);
+        }
+        let t = self.evaluator.ttft(batch, key.1)?;
+        self.prefill_cache.insert(key, t);
+        Ok(t)
+    }
+}
+
+impl fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("arch", &self.evaluator.architecture().name)
+            .field("model", &self.evaluator.model().name)
+            .field("cfg", &self.cfg)
+            .field("kv_budget_tokens", &self.kv_budget_tokens)
+            .field("now", &self.now)
+            .field("submitted", &self.submitted)
+            .field("completed", &self.outcomes.len())
+            .finish()
+    }
+}
+
+/// Prefill tokens to grant a pass with `remaining` tokens to go, given
+/// the iteration's remaining chunk budget and KV headroom. Completing
+/// the pass needs one extra headroom token for the emitted token's KV.
+fn chunk_take(remaining: usize, chunk_budget: usize, kv_headroom: usize) -> usize {
+    let mut take = remaining.min(chunk_budget).min(kv_headroom);
+    if take == remaining && take + 1 > kv_headroom {
+        take = take.saturating_sub(1);
+    }
+    take
+}
+
+fn finish(job: Job, now: Seconds) -> RequestOutcome {
+    let mean_tbt = if job.tbt_count == 0 {
+        Seconds::ZERO
+    } else {
+        job.tbt_sum / job.tbt_count as f64
+    };
+    RequestOutcome {
+        ttft: job.first_token_at.expect("finished jobs emitted a token") - job.request.arrival,
+        mean_tbt,
+        max_tbt: job.tbt_max,
+        e2e: now - job.request.arrival,
+        request: job.request,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ServingSim, TraceProfile};
+    use ador_baselines::ador_table3;
+    use ador_model::presets;
+    use ador_perf::Deployment;
+
+    fn engine<'a>(
+        arch: &'a ador_hw::Architecture,
+        model: &'a ador_model::ModelConfig,
+        cfg: SimConfig,
+    ) -> Engine<'a> {
+        ServingSim::new(arch, model, Deployment::single_device(), cfg)
+            .unwrap()
+            .engine()
+    }
+
+    #[test]
+    fn stepwise_drive_matches_run_to_completion() {
+        // Driving the engine one step at a time is exactly the
+        // run-to-completion loop: same outcomes, same counters.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(4.0, 32).with_requests(40).with_seed(11);
+        let requests =
+            crate::RequestGenerator::new(4.0, TraceProfile::ultrachat_like(), 11).take(40);
+
+        let (report, outcomes) = ServingSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run_requests(requests.clone())
+            .unwrap();
+
+        let mut eng = engine(&arch, &model, cfg);
+        for r in requests {
+            eng.submit(r).unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert_eq!(eng.outcomes(), &outcomes[..]);
+        assert_eq!(eng.report().unwrap(), report);
+    }
+
+    #[test]
+    fn conservation_at_every_step() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(8.0, 8);
+        let mut eng = engine(&arch, &model, cfg);
+        for r in crate::RequestGenerator::new(8.0, TraceProfile::short_chat(), 3).take(30) {
+            eng.submit(r).unwrap();
+            assert_eq!(eng.submitted(), eng.completed() + eng.in_flight());
+        }
+        loop {
+            assert_eq!(eng.submitted(), eng.completed() + eng.in_flight());
+            if eng.step().unwrap() == StepEvent::Idle {
+                break;
+            }
+        }
+        assert!(eng.is_drained());
+        assert_eq!(eng.completed(), 30);
+    }
+
+    #[test]
+    fn bounded_step_respects_the_horizon() {
+        // An empty engine must not jump past the horizon: a router needs
+        // the replica parked at the routing decision point, not warped to
+        // its own next arrival.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        eng.submit(Request::new(0, Seconds::new(5.0), 64, 4))
+            .unwrap();
+        eng.step_until(Seconds::new(2.0)).unwrap();
+        assert_eq!(eng.now(), Seconds::ZERO, "must not jump to t=5 arrival");
+        assert_eq!(eng.completed(), 0);
+        // Unbounded stepping then drains it.
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert_eq!(eng.completed(), 1);
+        assert!(eng.now() >= Seconds::new(5.0));
+    }
+
+    #[test]
+    fn out_of_order_submission_is_resorted() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        eng.submit(Request::new(1, Seconds::new(1.0), 64, 4))
+            .unwrap();
+        eng.submit(Request::new(0, Seconds::ZERO, 64, 4)).unwrap();
+        while eng.step().unwrap() != StepEvent::Idle {}
+        // Request 0 arrived first and must complete first.
+        assert_eq!(eng.outcomes()[0].request.id, 0);
+    }
+
+    #[test]
+    fn empty_replica_reports_none() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        assert!(eng.report().is_none());
+        assert!(eng.is_drained());
+    }
+
+    #[test]
+    fn submit_validates_requests() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        let mut bad = Request::new(3, Seconds::ZERO, 10, 10);
+        bad.output_tokens = 0;
+        assert_eq!(
+            eng.submit(bad).unwrap_err(),
+            SimError::InvalidRequest { id: 3 }
+        );
+        let budget = eng.kv_budget_tokens();
+        let big = Request::new(4, Seconds::ZERO, budget, budget);
+        assert!(matches!(
+            eng.submit(big).unwrap_err(),
+            SimError::NoKvHeadroom { .. }
+        ));
+        assert_eq!(eng.submitted(), 0, "rejected submissions are not counted");
+    }
+}

@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 mod capacity;
+mod engine;
 mod generator;
 mod qos;
 mod request;
@@ -60,7 +61,8 @@ mod slo;
 mod sweep;
 mod trace;
 
-pub use capacity::{max_capacity, CapacityResult};
+pub use capacity::{bisect_rate, max_capacity, CapacityResult};
+pub use engine::{Engine, StepEvent};
 pub use generator::RequestGenerator;
 pub use qos::{EngineCounters, LatencyStats, QosReport};
 pub use request::{Request, RequestOutcome};

@@ -49,6 +49,47 @@ impl LatencyStats {
             max: *sorted.last().unwrap(),
         }
     }
+
+    /// Merges per-group summaries (each with its sample count) into one
+    /// fleet-wide summary, without access to the raw populations.
+    ///
+    /// `mean` is the exact count-weighted mean and `max` is exact. The
+    /// percentiles are the **maximum over groups** — a sound upper bound
+    /// on the union percentile (at least a q-fraction of every group lies
+    /// at or below its own q-quantile, so at least a q-fraction of the
+    /// union lies at or below the largest group q-quantile), but biased
+    /// upward when the groups are imbalanced. Fleet-level SLO checks on a
+    /// merged summary are therefore conservative: a pass is trustworthy, a
+    /// narrow miss may be a merge artifact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the counts sum to zero.
+    pub fn merge(parts: &[(Self, usize)]) -> Self {
+        let total: usize = parts.iter().map(|&(_, n)| n).sum();
+        assert!(
+            !parts.is_empty() && total > 0,
+            "cannot merge an empty latency population"
+        );
+        let weighted_mean = parts
+            .iter()
+            .map(|&(s, n)| s.mean * (n as f64 / total as f64))
+            .sum::<Seconds>();
+        let fold = |pick: fn(&Self) -> Seconds| {
+            parts
+                .iter()
+                .filter(|&&(_, n)| n > 0)
+                .map(|(s, _)| pick(s))
+                .fold(Seconds::ZERO, Seconds::max)
+        };
+        Self {
+            mean: weighted_mean,
+            p50: fold(|s| s.p50),
+            p95: fold(|s| s.p95),
+            p99: fold(|s| s.p99),
+            max: fold(|s| s.max),
+        }
+    }
 }
 
 /// Engine-level counters the scheduler accumulates across its iterations,
@@ -131,6 +172,74 @@ impl QosReport {
             mean_queue_depth: counters.mean_queue_depth,
             peak_queue_depth: counters.peak_queue_depth,
             peak_kv_tokens: counters.peak_kv_tokens,
+        }
+    }
+
+    /// Merges per-replica reports into one fleet-wide report.
+    ///
+    /// Counts (`completed`, `preemptions`) are summed and peaks are maxed.
+    /// `makespan` is the latest replica finish time, and both throughput
+    /// figures are recomputed over it from the summed totals (tokens are
+    /// recovered as `tokens_per_sec × makespan` per replica, which is
+    /// exact). `mean_batch` and `mean_queue_depth` are makespan-weighted,
+    /// approximating a fleet-time average across replicas whose step
+    /// grids differ. Latency populations merge via [`LatencyStats::merge`]
+    /// weighted by completed count — see there for the percentile
+    /// upper-bound caveat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty or no report completed any request.
+    pub fn merge(reports: &[QosReport]) -> Self {
+        let completed: usize = reports.iter().map(|r| r.completed).sum();
+        assert!(
+            !reports.is_empty() && completed > 0,
+            "cannot merge reports with no completed requests"
+        );
+        let makespan = reports
+            .iter()
+            .map(|r| r.makespan)
+            .fold(Seconds::ZERO, Seconds::max);
+        let span = makespan.get().max(1e-12);
+        let total_span: f64 = reports.iter().map(|r| r.makespan.get()).sum();
+        let time_weighted = |pick: fn(&QosReport) -> f64| {
+            if total_span <= 0.0 {
+                0.0
+            } else {
+                reports
+                    .iter()
+                    .map(|r| pick(r) * r.makespan.get())
+                    .sum::<f64>()
+                    / total_span
+            }
+        };
+        let latency = |pick: fn(&QosReport) -> LatencyStats| {
+            let parts: Vec<(LatencyStats, usize)> =
+                reports.iter().map(|r| (pick(r), r.completed)).collect();
+            LatencyStats::merge(&parts)
+        };
+        let tokens: f64 = reports
+            .iter()
+            .map(|r| r.tokens_per_sec * r.makespan.get())
+            .sum();
+        Self {
+            completed,
+            makespan,
+            ttft: latency(|r| r.ttft),
+            tbt: latency(|r| r.tbt),
+            e2e: latency(|r| r.e2e),
+            requests_per_sec: completed as f64 / span,
+            tokens_per_sec: tokens / span,
+            mean_batch: time_weighted(|r| r.mean_batch),
+            peak_batch: reports.iter().map(|r| r.peak_batch).max().unwrap_or(0),
+            preemptions: reports.iter().map(|r| r.preemptions).sum(),
+            mean_queue_depth: time_weighted(|r| r.mean_queue_depth),
+            peak_queue_depth: reports
+                .iter()
+                .map(|r| r.peak_queue_depth)
+                .max()
+                .unwrap_or(0),
+            peak_kv_tokens: reports.iter().map(|r| r.peak_kv_tokens).max().unwrap_or(0),
         }
     }
 }
@@ -221,5 +330,81 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_population_rejected() {
         let _ = LatencyStats::from_samples(&[]);
+    }
+
+    #[test]
+    fn latency_merge_bounds_the_union() {
+        // Two imbalanced groups: the merged percentiles must upper-bound
+        // the exact union percentiles, and the merged mean must equal the
+        // exact union mean.
+        let a: Vec<Seconds> = (1..=90).map(|i| Seconds::from_millis(i as f64)).collect();
+        let b: Vec<Seconds> = (91..=100).map(|i| Seconds::from_millis(i as f64)).collect();
+        let merged = LatencyStats::merge(&[
+            (LatencyStats::from_samples(&a), a.len()),
+            (LatencyStats::from_samples(&b), b.len()),
+        ]);
+        let union: Vec<Seconds> = a.iter().chain(&b).copied().collect();
+        let exact = LatencyStats::from_samples(&union);
+        assert!((merged.mean.get() - exact.mean.get()).abs() < 1e-12);
+        assert!(merged.p50 >= exact.p50);
+        assert!(merged.p95 >= exact.p95);
+        assert!(merged.p99 >= exact.p99);
+        assert_eq!(merged.max, exact.max);
+    }
+
+    #[test]
+    fn latency_merge_of_identical_groups_is_identity() {
+        let s: Vec<Seconds> = (1..=50).map(|i| Seconds::from_millis(i as f64)).collect();
+        let stats = LatencyStats::from_samples(&s);
+        let merged = LatencyStats::merge(&[(stats, 50), (stats, 50)]);
+        assert_eq!(merged, stats);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn latency_merge_rejects_empty() {
+        let _ = LatencyStats::merge(&[]);
+    }
+
+    #[test]
+    fn report_merge_sums_counts_and_maxes_peaks() {
+        let mk = |n: usize, makespan: f64, batch: f64| {
+            let outcomes: Vec<RequestOutcome> =
+                (0..n as u64).map(|i| outcome(i, 50.0, 20.0)).collect();
+            QosReport::from_outcomes(
+                &outcomes,
+                Seconds::new(makespan),
+                EngineCounters {
+                    mean_batch: batch,
+                    peak_batch: n,
+                    preemptions: 1,
+                    mean_queue_depth: batch / 2.0,
+                    peak_queue_depth: n / 2,
+                    peak_kv_tokens: 100 * n,
+                },
+            )
+        };
+        let a = mk(10, 5.0, 4.0);
+        let b = mk(30, 10.0, 8.0);
+        let fleet = QosReport::merge(&[a.clone(), b.clone()]);
+        assert_eq!(fleet.completed, 40);
+        assert_eq!(fleet.makespan, Seconds::new(10.0));
+        assert_eq!(fleet.preemptions, 2);
+        assert_eq!(fleet.peak_batch, 30);
+        assert_eq!(fleet.peak_kv_tokens, 3000);
+        // 40 requests over the 10 s fleet makespan.
+        assert!((fleet.requests_per_sec - 4.0).abs() < 1e-9);
+        // Tokens: 10·10 over 5 s plus 30·10 over 10 s, replayed over 10 s.
+        assert!((fleet.tokens_per_sec - 40.0).abs() < 1e-9);
+        // Makespan-weighted means: (4·5 + 8·10)/15.
+        assert!((fleet.mean_batch - 100.0 / 15.0).abs() < 1e-9);
+        // A single-report merge is the identity.
+        assert_eq!(QosReport::merge(std::slice::from_ref(&a)), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "no completed requests")]
+    fn report_merge_rejects_empty() {
+        let _ = QosReport::merge(&[]);
     }
 }

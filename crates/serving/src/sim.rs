@@ -26,17 +26,15 @@
 //! attention cost over earlier chunks' KV is folded into the analytical
 //! model's bucketing rather than accounted per chunk.
 
-use std::collections::VecDeque;
 use std::fmt;
 
 use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::{Deployment, Evaluator, PerfError};
-use ador_units::Seconds;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
-use crate::{EngineCounters, QosReport, Request, RequestGenerator, RequestOutcome, TraceProfile};
+use crate::engine::{Engine, StepEvent};
+use crate::{QosReport, Request, RequestGenerator, RequestOutcome, TraceProfile};
 
 /// How the scheduler shares engine iterations between prefill and decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -188,100 +186,20 @@ impl From<PerfError> for SimError {
     }
 }
 
-/// Per-request scheduler state that survives preemption.
-#[derive(Debug)]
-struct Job {
-    request: Request,
-    /// Tokens generated so far. Survives preemption: the tokens are not
-    /// re-emitted, but their KV is recomputed on resume.
-    generated: usize,
-    first_token_at: Option<Seconds>,
-    last_token_at: Option<Seconds>,
-    tbt_sum: Seconds,
-    tbt_max: Seconds,
-    tbt_count: usize,
-}
-
-impl Job {
-    fn new(request: Request) -> Self {
-        Self {
-            request,
-            generated: 0,
-            first_token_at: None,
-            last_token_at: None,
-            tbt_sum: Seconds::ZERO,
-            tbt_max: Seconds::ZERO,
-            tbt_count: 0,
-        }
-    }
-
-    /// Tokens a (re)admission must prefill before decoding: the prompt plus
-    /// any previously generated tokens whose KV was dropped at preemption.
-    fn prefill_target(&self) -> usize {
-        self.request.input_tokens + self.generated
-    }
-
-    /// Records one emitted token at `now`. The first token sets TTFT; every
-    /// later one contributes the gap since the previous token to the TBT
-    /// stats — including any preemption stall.
-    fn emit_token(&mut self, now: Seconds) {
-        if self.first_token_at.is_none() {
-            self.first_token_at = Some(now);
-        } else if let Some(last) = self.last_token_at {
-            let gap = now - last;
-            self.tbt_sum += gap;
-            self.tbt_max = self.tbt_max.max(gap);
-            self.tbt_count += 1;
-        }
-        self.last_token_at = Some(now);
-        self.generated += 1;
-    }
-
-    fn done(&self) -> bool {
-        self.generated >= self.request.output_tokens
-    }
-}
-
-/// An admitted request: its job plus prefill progress and resident KV.
-#[derive(Debug)]
-struct Active {
-    job: Job,
-    /// Tokens prefilled so far in the current pass.
-    prefilled: usize,
-    /// Tokens the current pass must prefill before decoding.
-    prefill_target: usize,
-    /// KV tokens currently resident for this request.
-    kv_held: usize,
-}
-
-impl Active {
-    fn admit(job: Job) -> Self {
-        let prefill_target = job.prefill_target();
-        Self {
-            job,
-            prefilled: 0,
-            prefill_target,
-            kv_held: 0,
-        }
-    }
-
-    fn is_decoding(&self) -> bool {
-        self.prefilled == self.prefill_target
-    }
-}
-
 /// The serving simulator: binds an architecture, model and deployment, and
 /// replays a Poisson request stream through the continuous-batching
 /// scheduler.
+///
+/// The scheduler itself lives in [`Engine`], which exposes the same loop
+/// one iteration at a time; `ServingSim` validates the configuration and
+/// offers the run-to-completion drivers ([`ServingSim::run`],
+/// [`ServingSim::run_requests`]). Multi-replica drivers call
+/// [`ServingSim::engine`] and interleave the replicas themselves.
 pub struct ServingSim<'a> {
     evaluator: Evaluator<'a>,
     cfg: SimConfig,
     kv_budget_tokens: usize,
-    decode_cache: HashMap<(usize, usize), Seconds>,
-    prefill_cache: HashMap<(usize, usize), Seconds>,
 }
-
-const CTX_BUCKET: usize = 128;
 
 impl<'a> ServingSim<'a> {
     /// Creates a simulator.
@@ -314,14 +232,19 @@ impl<'a> ServingSim<'a> {
             evaluator,
             cfg,
             kv_budget_tokens: budget_tokens,
-            decode_cache: HashMap::new(),
-            prefill_cache: HashMap::new(),
         })
     }
 
     /// The KV budget in tokens (across the whole deployment).
     pub fn kv_budget_tokens(&self) -> usize {
         self.kv_budget_tokens
+    }
+
+    /// Consumes the simulator into its incremental [`Engine`], for drivers
+    /// that interleave several replicas (or inspect state mid-run) instead
+    /// of running one request list to completion.
+    pub fn engine(self) -> Engine<'a> {
+        Engine::from_parts(self.evaluator, self.cfg, self.kv_budget_tokens)
     }
 
     /// Runs the simulation over requests drawn from `profile`.
@@ -351,244 +274,24 @@ impl<'a> ServingSim<'a> {
     /// [`SimError::NoKvHeadroom`] if any single request's full context can
     /// never fit the KV budget, and propagates [`SimError::Perf`].
     pub fn run_requests(
-        mut self,
-        mut requests: Vec<Request>,
+        self,
+        requests: Vec<Request>,
     ) -> Result<(QosReport, Vec<RequestOutcome>), SimError> {
         if requests.is_empty() {
             return Err(SimError::EmptyConfig);
         }
-        if let Some(r) = requests
-            .iter()
-            .find(|r| r.input_tokens == 0 || r.output_tokens == 0)
-        {
-            // A zero-length prompt can never be admitted (its prefill pass
-            // has no tokens to schedule) and would wedge the queue.
-            return Err(SimError::InvalidRequest { id: r.id });
+        let mut engine = self.engine();
+        for r in requests {
+            // `Engine::submit` rejects zero-length and over-budget
+            // requests (either would wedge the queue forever); the error
+            // names the first offender in list order.
+            engine.submit(r)?;
         }
-        if requests
-            .iter()
-            .any(|r| r.total_tokens() > self.kv_budget_tokens)
-        {
-            // Such a request could never complete even alone on the device;
-            // admitting it would wedge the queue.
-            return Err(SimError::NoKvHeadroom {
-                budget_tokens: self.kv_budget_tokens,
-            });
-        }
-        requests.sort_by(|a, b| {
-            a.arrival
-                .partial_cmp(&b.arrival)
-                .expect("arrival times are never NaN")
-        });
-        let total = requests.len();
-        let mut pending: VecDeque<Request> = requests.into();
-        let mut waiting: VecDeque<Job> = VecDeque::new();
-        let mut active: Vec<Active> = Vec::new();
-        let mut outcomes: Vec<RequestOutcome> = Vec::with_capacity(total);
-        let mut now = Seconds::ZERO;
-        let mut kv_in_use = 0usize;
-        let mut steps = 0usize;
-        let mut batch_samples = 0.0f64;
-        let mut queue_samples = 0.0f64;
-        let mut peak_batch = 0usize;
-        let mut peak_queue = 0usize;
-        let mut peak_kv = 0usize;
-        let mut preemptions = 0usize;
-        let mut prev_step_prefilled = false;
-
-        while outcomes.len() < total {
-            // Move arrivals into the admission queue (preempted jobs were
-            // pushed to the front and resume first).
-            while pending.front().is_some_and(|r| r.arrival <= now) {
-                waiting.push_back(Job::new(pending.pop_front().expect("peeked")));
-            }
-            if active.is_empty() && waiting.is_empty() {
-                match pending.front() {
-                    Some(next) => {
-                        now = next.arrival;
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-
-            // KV pressure: one decode step grows every decoding context by
-            // a token. Preempt youngest-first — never the oldest, so the
-            // engine always drains — until the growth fits the budget.
-            let mut decoders = active.iter().filter(|a| a.is_decoding()).count();
-            while kv_in_use + decoders > self.kv_budget_tokens && active.len() > 1 {
-                if preempt_youngest(&mut active, &mut waiting, &mut kv_in_use, &mut preemptions) {
-                    decoders -= 1;
-                }
-            }
-
-            // Prefill schedule: continue in-flight prefills oldest-first,
-            // then admit from the queue head, sharing one `prefill_chunk`
-            // token budget. A chunk that completes a pass also reserves the
-            // +1 KV token of the first token it emits.
-            let prefill_allowed = match self.cfg.policy {
-                SchedulerPolicy::Fused => true,
-                SchedulerPolicy::DecodePrioritized => decoders == 0 || !prev_step_prefilled,
-            };
-            let mut chunk_budget = if prefill_allowed {
-                self.cfg.prefill_chunk
-            } else {
-                0
-            };
-            let mut kv_headroom = self.kv_budget_tokens - kv_in_use - decoders;
-            let mut chunks: Vec<(usize, usize)> = Vec::new();
-            for (i, a) in active.iter().enumerate() {
-                if chunk_budget == 0 {
-                    break;
-                }
-                if a.is_decoding() {
-                    continue;
-                }
-                let remaining = a.prefill_target - a.prefilled;
-                let take = Self::chunk_take(remaining, chunk_budget, kv_headroom);
-                if take == 0 {
-                    break;
-                }
-                chunk_budget -= take;
-                kv_headroom -= take + usize::from(take == remaining);
-                chunks.push((i, take));
-            }
-            while chunk_budget > 0 && active.len() < self.cfg.max_batch {
-                let Some(job) = waiting.front() else { break };
-                let take = Self::chunk_take(job.prefill_target(), chunk_budget, kv_headroom);
-                if take == 0 {
-                    break;
-                }
-                let job = waiting.pop_front().expect("peeked");
-                let remaining = job.prefill_target();
-                chunk_budget -= take;
-                kv_headroom -= take + usize::from(take == remaining);
-                chunks.push((active.len(), take));
-                active.push(Active::admit(job));
-            }
-
-            // All actives mid-prefill with zero headroom and nobody
-            // decoding: evict the youngest so the oldest can proceed.
-            if decoders == 0 && chunks.is_empty() && active.len() > 1 {
-                preempt_youngest(&mut active, &mut waiting, &mut kv_in_use, &mut preemptions);
-                continue;
-            }
-
-            // Timing: one fused engine iteration.
-            let prefill_tokens: usize = chunks.iter().map(|&(_, t)| t).sum();
-            let decoding_now: Vec<bool> = active.iter().map(Active::is_decoding).collect();
-            let mut step_time = Seconds::ZERO;
-            if prefill_tokens > 0 {
-                let mean_chunk = (prefill_tokens / chunks.len()).max(1);
-                step_time += self.prefill_time(chunks.len(), mean_chunk)?;
-            }
-            if decoders > 0 {
-                let ctx_sum: usize = active
-                    .iter()
-                    .filter(|a| a.is_decoding())
-                    .map(|a| a.kv_held)
-                    .sum();
-                step_time += self.decode_time(decoders, (ctx_sum / decoders).max(1))?;
-            }
-            now += step_time;
-            steps += 1;
-            prev_step_prefilled = prefill_tokens > 0;
-
-            // Apply prefill progress token-granularly.
-            let mut received = vec![0usize; active.len()];
-            for &(i, take) in &chunks {
-                received[i] = take;
-                let a = &mut active[i];
-                a.prefilled += take;
-                a.kv_held += take;
-                kv_in_use += take;
-            }
-
-            // Token emission: every request that decoded this step, plus
-            // every request whose prefill pass just completed (its first —
-            // or, after preemption, next — token comes out of the fused
-            // step). This is also the decode-batch occupancy sample, taken
-            // after same-step admissions so fresh decoders are counted.
-            let mut batch_now = 0usize;
-            let mut finished: Vec<usize> = Vec::new();
-            for i in 0..active.len() {
-                let emitted = decoding_now[i] || (received[i] > 0 && active[i].is_decoding());
-                if !emitted {
-                    continue;
-                }
-                batch_now += 1;
-                let a = &mut active[i];
-                a.kv_held += 1;
-                kv_in_use += 1;
-                a.job.emit_token(now);
-                if a.job.done() {
-                    finished.push(i);
-                }
-            }
-            for &i in finished.iter().rev() {
-                let a = active.remove(i);
-                kv_in_use -= a.kv_held;
-                outcomes.push(finish(a.job, now));
-            }
-
-            batch_samples += batch_now as f64;
-            peak_batch = peak_batch.max(batch_now);
-            queue_samples += waiting.len() as f64;
-            peak_queue = peak_queue.max(waiting.len());
-            peak_kv = peak_kv.max(kv_in_use);
-            debug_assert_eq!(
-                kv_in_use,
-                active.iter().map(|a| a.kv_held).sum::<usize>(),
-                "KV ledger must equal the sum of live contexts"
-            );
-            debug_assert!(
-                kv_in_use <= self.kv_budget_tokens,
-                "KV in use ({kv_in_use}) exceeded the budget ({})",
-                self.kv_budget_tokens
-            );
-        }
-
-        let per_step = |sum: f64| if steps == 0 { 0.0 } else { sum / steps as f64 };
-        let counters = EngineCounters {
-            mean_batch: per_step(batch_samples),
-            peak_batch,
-            preemptions,
-            mean_queue_depth: per_step(queue_samples),
-            peak_queue_depth: peak_queue,
-            peak_kv_tokens: peak_kv,
-        };
-        Ok((QosReport::from_outcomes(&outcomes, now, counters), outcomes))
-    }
-
-    /// Prefill tokens to grant a pass with `remaining` tokens to go, given
-    /// the iteration's remaining chunk budget and KV headroom. Completing
-    /// the pass needs one extra headroom token for the emitted token's KV.
-    fn chunk_take(remaining: usize, chunk_budget: usize, kv_headroom: usize) -> usize {
-        let mut take = remaining.min(chunk_budget).min(kv_headroom);
-        if take == remaining && take + 1 > kv_headroom {
-            take = take.saturating_sub(1);
-        }
-        take
-    }
-
-    fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
-        let key = (batch, context.div_ceil(CTX_BUCKET) * CTX_BUCKET);
-        if let Some(&t) = self.decode_cache.get(&key) {
-            return Ok(t);
-        }
-        let t = self.evaluator.decode_interval(batch, key.1)?;
-        self.decode_cache.insert(key, t);
-        Ok(t)
-    }
-
-    fn prefill_time(&mut self, batch: usize, prompt: usize) -> Result<Seconds, SimError> {
-        let key = (batch, prompt.div_ceil(CTX_BUCKET) * CTX_BUCKET);
-        if let Some(&t) = self.prefill_cache.get(&key) {
-            return Ok(t);
-        }
-        let t = self.evaluator.ttft(batch, key.1)?;
-        self.prefill_cache.insert(key, t);
-        Ok(t)
+        while engine.step()? != StepEvent::Idle {}
+        let report = engine
+            .report()
+            .expect("a non-empty request list always completes something");
+        Ok((report, engine.into_outcomes()))
     }
 }
 
@@ -603,45 +306,12 @@ impl fmt::Debug for ServingSim<'_> {
     }
 }
 
-/// Pauses the youngest admitted request: releases its KV back to the pool
-/// and returns its job to the head of the admission queue for resume.
-/// Returns whether the victim was decoding (so callers can adjust their
-/// decoder count). The caller guarantees `active` is non-empty and never
-/// preempts down to zero, preserving forward progress for the oldest.
-fn preempt_youngest(
-    active: &mut Vec<Active>,
-    waiting: &mut VecDeque<Job>,
-    kv_in_use: &mut usize,
-    preemptions: &mut usize,
-) -> bool {
-    let victim = active.pop().expect("caller checks non-empty");
-    let was_decoding = victim.is_decoding();
-    *kv_in_use -= victim.kv_held;
-    *preemptions += 1;
-    waiting.push_front(victim.job);
-    was_decoding
-}
-
-fn finish(job: Job, now: Seconds) -> RequestOutcome {
-    let mean_tbt = if job.tbt_count == 0 {
-        Seconds::ZERO
-    } else {
-        job.tbt_sum / job.tbt_count as f64
-    };
-    RequestOutcome {
-        ttft: job.first_token_at.expect("finished jobs emitted a token") - job.request.arrival,
-        mean_tbt,
-        max_tbt: job.tbt_max,
-        e2e: now - job.request.arrival,
-        request: job.request,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use ador_baselines::{a100, ador_table3};
     use ador_model::presets;
+    use ador_units::Seconds;
 
     fn run(rate: f64, requests: usize, seed: u64) -> QosReport {
         let arch = ador_table3();

@@ -57,6 +57,15 @@ impl Slo {
         let tbt_ok = self.tbt_max.is_none_or(|max| report.tbt.p95 <= max);
         ttft_ok && tbt_ok
     }
+
+    /// Whether a single request's measured lifecycle meets this SLO
+    /// (TTFT and mean TBT within the bounds). Per-tenant fleet attainment
+    /// is the fraction of a tenant's requests for which this holds.
+    pub fn met(&self, outcome: &crate::RequestOutcome) -> bool {
+        let ttft_ok = self.ttft_max.is_none_or(|max| outcome.ttft <= max);
+        let tbt_ok = self.tbt_max.is_none_or(|max| outcome.mean_tbt <= max);
+        ttft_ok && tbt_ok
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +111,22 @@ mod tests {
     #[test]
     fn ttft_bound_applies() {
         assert!(!Slo::strict().attained(&report(3000.0, 10.0)));
+    }
+
+    #[test]
+    fn per_request_check_matches_bounds() {
+        use crate::{Request, RequestOutcome};
+        let outcome = |ttft_ms: f64, tbt_ms: f64| RequestOutcome {
+            request: Request::new(0, Seconds::ZERO, 10, 10),
+            ttft: Seconds::from_millis(ttft_ms),
+            mean_tbt: Seconds::from_millis(tbt_ms),
+            max_tbt: Seconds::from_millis(tbt_ms),
+            e2e: Seconds::from_millis(ttft_ms + 10.0 * tbt_ms),
+        };
+        assert!(Slo::strict().met(&outcome(100.0, 20.0)));
+        assert!(!Slo::strict().met(&outcome(100.0, 30.0)));
+        assert!(!Slo::strict().met(&outcome(3000.0, 20.0)));
+        assert!(Slo::tbt_only(Seconds::from_millis(40.0)).met(&outcome(60_000.0, 39.0)));
     }
 
     #[test]

@@ -1,32 +1,56 @@
-//! Chatbot serving study: QoS under load and SLO-bounded capacity.
+//! Chatbot serving study: fleet QoS under load and SLO-bounded capacity.
 //!
-//! Reproduces the Fig. 16 methodology: serve LLaMA3-8B (one device) and
-//! Yi-34B (two devices) against an ultrachat-like trace, measure QoS at
-//! increasing request rates, and bisect the maximum capacity under strict
-//! and relaxed TBT SLOs.
+//! Extends the Fig. 16 methodology beyond one engine: serve LLaMA3-8B
+//! (one device per replica) and Yi-34B (two devices per replica) behind a
+//! join-shortest-queue router, drive the fleet with a two-tenant mix
+//! (strict-SLO chat + tight-SLO code completion), and report the
+//! per-tenant fleet breakdown at increasing aggregate request rates. The
+//! single-engine scheduler-policy and capacity studies ride along
+//! unchanged.
 //!
-//! Run with: `cargo run --release --example chatbot_serving`
+//! Run with: `cargo run --release --example chatbot_serving -- [replicas]`
+//! (default 2 replicas).
 
+use ador::cluster::{ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix};
 use ador::model::{presets, ModelConfig};
 use ador::perf::Deployment;
 use ador::serving::{max_capacity, SchedulerPolicy, ServingSim, SimConfig, Slo, TraceProfile};
 use ador::AdorError;
 
-fn qos_at_rates(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError> {
+/// Per-tenant fleet QoS at increasing aggregate load: chat keeps the
+/// paper's strict SLO, code completion its 400 ms TTFT contract.
+fn fleet_qos_at_rates(
+    model: &ModelConfig,
+    deployment: Deployment,
+    replicas: usize,
+) -> Result<(), AdorError> {
     let arch = ador::baselines::ador_table3();
-    println!("--- {} on {} device(s) ---", model.name, deployment.devices);
-    println!("rate(req/s) | TTFT p95 | TBT p95 | mean batch | queue p̄ | tok/s");
-    for rate in [2.0, 5.0, 10.0, 20.0] {
-        let cfg = SimConfig::new(rate, 128).with_requests(120).with_seed(7);
-        let report =
-            ServingSim::new(&arch, model, deployment, cfg)?.run(TraceProfile::ultrachat_like())?;
+    println!(
+        "--- {} on {} device(s) x {} replica(s), join-shortest-queue ---",
+        model.name, deployment.devices, replicas
+    );
+    println!("rate(req/s) | TTFT p95 | TBT p95 | per-tenant attainment | preempt | imbal");
+    for rate in [4.0, 10.0, 20.0, 40.0] {
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(rate * 0.75),
+            TenantClass::code_completion(rate * 0.25),
+        ]);
+        let cfg = ClusterConfig::new(replicas, RouterPolicy::JoinShortestQueue)
+            .with_engine(SimConfig::new(1.0, 128));
+        let report = ClusterSim::new(&arch, model, deployment, cfg)?.run(&mix, 150, 7)?;
+        let fleet = report.fleet.as_ref().expect("requests completed");
+        let tenants: Vec<String> = report
+            .tenants
+            .iter()
+            .map(|t| format!("{} {:.2}", t.name, t.attainment))
+            .collect();
         println!(
-            "{rate:>10.1} | {:>8} | {:>7} | {:>10.1} | {:>8.1} | {:>6.0}",
-            format!("{}", report.ttft.p95),
-            format!("{}", report.tbt.p95),
-            report.mean_batch,
-            report.mean_queue_depth,
-            report.tokens_per_sec,
+            "{rate:>10.1} | {:>8} | {:>7} | {:<32} | {:>7} | {:.3}",
+            format!("{}", fleet.ttft.p95),
+            format!("{}", fleet.tbt.p95),
+            tenants.join(", "),
+            fleet.preemptions,
+            report.imbalance,
         );
     }
     Ok(())
@@ -93,14 +117,20 @@ fn capacity(model: &ModelConfig, deployment: Deployment) -> Result<(), AdorError
 }
 
 fn main() -> Result<(), AdorError> {
-    println!("=== QoS vs load (Fig. 16 methodology) ===");
-    qos_at_rates(&presets::llama3_8b(), Deployment::single_device())?;
-    qos_at_rates(&presets::yi_34b(), Deployment::tensor_parallel(2))?;
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(2);
+
+    println!("=== Fleet QoS vs aggregate load (Fig. 16 methodology, per-tenant) ===");
+    fleet_qos_at_rates(&presets::llama3_8b(), Deployment::single_device(), replicas)?;
+    fleet_qos_at_rates(&presets::yi_34b(), Deployment::tensor_parallel(2), replicas)?;
 
     println!("\n=== Scheduler policy & KV pressure (512-token chunks, summarization) ===");
     scheduler_policies()?;
 
-    println!("\n=== SLO-bounded max capacity ===");
+    println!("\n=== SLO-bounded max capacity (single engine) ===");
     println!("LLaMA3 8B, 1 device:");
     capacity(&presets::llama3_8b(), Deployment::single_device())?;
     println!("Yi 34B, 2 devices:");

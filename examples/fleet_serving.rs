@@ -1,0 +1,176 @@
+//! Fleet serving demo: a multi-replica cluster under multi-tenant traffic.
+//!
+//! Builds a fleet of LLaMA3-8B replicas behind each router policy and
+//! prints the fleet-wide QoS breakdown: per-tenant SLO attainment on a
+//! skewed chat + bursty-summarization mix, per-replica utilization on a
+//! three-tenant mix, the shed count once admission control is enabled,
+//! and the fleet capacity search (the Fig. 16 question asked of the whole
+//! cluster).
+//!
+//! Run with: `cargo run --release --example fleet_serving -- [replicas]`
+//! (default 4 replicas).
+
+use ador::cluster::{
+    cluster_capacity, ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix,
+};
+use ador::model::presets;
+use ador::perf::Deployment;
+use ador::serving::SimConfig;
+use ador::AdorError;
+
+const POLICIES: [RouterPolicy; 4] = [
+    RouterPolicy::RoundRobin,
+    RouterPolicy::JoinShortestQueue,
+    RouterPolicy::LeastKvLoad,
+    RouterPolicy::SloAware,
+];
+
+fn three_tenant_mix(aggregate: f64) -> TenantMix {
+    TenantMix::new(vec![
+        TenantClass::chatbot(aggregate * 0.5),
+        TenantClass::summarization(aggregate * 0.2),
+        TenantClass::code_completion(aggregate * 0.3),
+    ])
+}
+
+/// The differentiating scenario (pinned by `tests/cluster_serving.rs`,
+/// shared via `ador::cluster::scenarios`): a skewed two-tenant mix —
+/// 70 % steady strict-SLO chat, 30 % bursty MMPP summarization — on
+/// scarce-KV replicas, where placement quality decides who pays
+/// KV-pressure preemption storms. The aggregate rate scales with the
+/// replica count so each fleet size sits at the same per-replica load.
+fn policy_breakdown(replicas: usize) -> Result<(), AdorError> {
+    use ador::cluster::scenarios::{
+        scarce_kv_fleet, skewed_two_tenant, SKEWED_MIX_RATE, SKEWED_MIX_REQUESTS, SKEWED_MIX_SEED,
+    };
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mix = skewed_two_tenant(SKEWED_MIX_RATE / 4.0 * replicas as f64);
+    println!(
+        "{} replicas, {:.1} req/s aggregate (70 % chat / 30 % bursty summarization), scarce KV (5 %)",
+        replicas,
+        mix.aggregate_rate()
+    );
+    println!("policy              | fleet att | chat | summ | preempt | imbal");
+    for policy in POLICIES {
+        let report = ClusterSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            scarce_kv_fleet(replicas, policy),
+        )?
+        .run(&mix, SKEWED_MIX_REQUESTS, SKEWED_MIX_SEED)?;
+        let fleet = report.fleet.as_ref().expect("requests completed");
+        println!(
+            "{:<20}| {:>9.3} | {:.2} | {:.2} | {:>7} | {:.3}",
+            policy.to_string(),
+            report.fleet_attainment(),
+            report.tenants[0].attainment,
+            report.tenants[1].attainment,
+            fleet.preemptions,
+            report.imbalance,
+        );
+    }
+    Ok(())
+}
+
+fn replica_utilization(replicas: usize) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mix = three_tenant_mix(3.0 * replicas as f64);
+    let cfg = ClusterConfig::new(replicas, RouterPolicy::JoinShortestQueue)
+        .with_engine(SimConfig::new(1.0, 32));
+    let report =
+        ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)?.run(&mix, 300, 3)?;
+    println!("replica | completed | tok/s | mean batch | peak KV (tokens)");
+    for (i, replica) in report.per_replica.iter().enumerate() {
+        match replica {
+            Some(r) => println!(
+                "{i:>7} | {:>9} | {:>5.0} | {:>10.1} | {:>8}",
+                r.completed, r.tokens_per_sec, r.mean_batch, r.peak_kv_tokens
+            ),
+            None => println!("{i:>7} | {:>9} |     - |          - |        -", 0),
+        }
+    }
+    println!(
+        "utilization imbalance (CV of processed tokens): {:.3}",
+        report.imbalance
+    );
+    Ok(())
+}
+
+fn admission_control(replicas: usize) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    // Overload the fleet 3x and cap each replica's queue: the router now
+    // decides who gets served at all.
+    let mix = three_tenant_mix(9.0 * replicas as f64);
+    println!("policy              | completed | shed | fleet attainment (shed = miss)");
+    for policy in POLICIES {
+        let cfg = ClusterConfig::new(replicas, policy)
+            .with_engine(SimConfig::new(1.0, 16))
+            .with_queue_cap(4);
+        let report =
+            ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)?.run(&mix, 300, 5)?;
+        println!(
+            "{:<20}| {:>9} | {:>4} | {:.3}",
+            policy.to_string(),
+            report.completed,
+            report.rejected,
+            report.fleet_attainment(),
+        );
+    }
+    Ok(())
+}
+
+fn fleet_capacity(replicas: usize) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mix = three_tenant_mix(4.0);
+    let cfg = ClusterConfig::new(replicas, RouterPolicy::JoinShortestQueue)
+        .with_engine(SimConfig::new(1.0, 32));
+    let cap = cluster_capacity(
+        &arch,
+        &model,
+        Deployment::single_device(),
+        cfg,
+        &mix,
+        200,
+        16,
+        0.95,
+        (0.5, 40.0 * replicas as f64),
+        7,
+    )?;
+    println!(
+        "{} replicas sustain {:.1} req/s aggregate at >=95 % attainment per class",
+        replicas, cap.rate
+    );
+    for tenant in &cap.report.tenants {
+        println!(
+            "  {}: attainment {:.3} over {} requests",
+            tenant.name, tenant.attainment, tenant.completed
+        );
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), AdorError> {
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(4);
+
+    println!("=== Router policies under a skewed two-tenant mix ===");
+    policy_breakdown(replicas)?;
+
+    println!("\n=== Per-replica utilization (join-shortest-queue) ===");
+    replica_utilization(replicas)?;
+
+    println!("\n=== Admission control under 3x overload (queue cap 4) ===");
+    admission_control(replicas)?;
+
+    println!("\n=== Fleet capacity at >=95 % per-class attainment ===");
+    fleet_capacity(replicas)?;
+    Ok(())
+}

@@ -1,0 +1,186 @@
+//! Cluster-serving integration tests: the pinned router-policy ordering,
+//! routing determinism, SLO-aware partition isolation, and the fleet-wide
+//! conservation invariant.
+
+use ador::cluster::scenarios::{
+    scarce_kv_fleet, skewed_two_tenant, SKEWED_MIX_RATE, SKEWED_MIX_REQUESTS,
+};
+use ador::cluster::{ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix};
+use ador::model::presets;
+use ador::perf::Deployment;
+use ador::serving::SimConfig;
+use proptest::prelude::*;
+
+/// The pinned scenario (shared with `exp_cluster` and `fleet_serving`
+/// via `ador::cluster::scenarios`): a skewed two-tenant mix — 70 %
+/// steady strict-SLO chat, 30 % bursty MMPP summarization with heavy
+/// prompts — on four 16-slot replicas whose KV memory is scarce (5 %
+/// fraction), at a fixed 7 req/s aggregate. Scarce KV makes placement
+/// quality visible: stacking KV-heavy work on one replica triggers
+/// preemption storms there.
+fn skewed_mix() -> TenantMix {
+    skewed_two_tenant(SKEWED_MIX_RATE)
+}
+
+fn run_policy(policy: RouterPolicy, seed: u64) -> ador::cluster::FleetReport {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    ClusterSim::new(
+        &arch,
+        &model,
+        Deployment::single_device(),
+        scarce_kv_fleet(4, policy),
+    )
+    .unwrap()
+    .run(&skewed_mix(), SKEWED_MIX_REQUESTS, seed)
+    .unwrap()
+}
+
+/// The acceptance pin: on the skewed two-tenant mix at a fixed aggregate
+/// rate, both adaptive policies achieve strictly higher fleet SLO
+/// attainment than round-robin — and the KV-demand-aware policy, which
+/// balances the binding resource directly, beats count-balancing too.
+#[test]
+fn adaptive_policies_beat_round_robin_on_skewed_mix() {
+    use ador::cluster::scenarios::SKEWED_MIX_SEED;
+    let rr = run_policy(RouterPolicy::RoundRobin, SKEWED_MIX_SEED);
+    let jsq = run_policy(RouterPolicy::JoinShortestQueue, SKEWED_MIX_SEED);
+    let kv = run_policy(RouterPolicy::LeastKvLoad, SKEWED_MIX_SEED);
+
+    let attain = |r: &ador::cluster::FleetReport| r.fleet_attainment();
+    assert!(
+        attain(&jsq) > attain(&rr),
+        "JSQ {:.4} must strictly beat RR {:.4}",
+        attain(&jsq),
+        attain(&rr)
+    );
+    assert!(
+        attain(&kv) > attain(&rr),
+        "LeastKvLoad {:.4} must strictly beat RR {:.4}",
+        attain(&kv),
+        attain(&rr)
+    );
+
+    // The mechanism, not just the outcome: round-robin blindly stacks
+    // KV-heavy work, so it pays far more KV-pressure preemptions than the
+    // KV-demand-aware router.
+    let preemptions = |r: &ador::cluster::FleetReport| r.fleet.as_ref().unwrap().preemptions;
+    assert!(
+        preemptions(&kv) < preemptions(&rr) / 2,
+        "LeastKvLoad preemptions {} vs RR {}",
+        preemptions(&kv),
+        preemptions(&rr)
+    );
+
+    // Every policy served the whole offered stream (no admission control
+    // here): attainment differences come from QoS, not completion count.
+    for r in [&rr, &jsq, &kv] {
+        assert_eq!(r.completed, SKEWED_MIX_REQUESTS);
+        assert_eq!(r.rejected, 0);
+    }
+}
+
+/// Same seed ⇒ identical per-replica assignment trace (and identical
+/// report); a different seed must change the trace. Routing has no hidden
+/// nondeterminism: ties break by replica index, and the tenant streams
+/// are pure functions of the seed.
+#[test]
+fn router_assignment_is_deterministic_under_seed() {
+    for policy in [
+        RouterPolicy::RoundRobin,
+        RouterPolicy::JoinShortestQueue,
+        RouterPolicy::LeastKvLoad,
+        RouterPolicy::SloAware,
+    ] {
+        let a = run_policy(policy, 11);
+        let b = run_policy(policy, 11);
+        assert_eq!(
+            a.assignments, b.assignments,
+            "{policy}: same seed must reproduce the assignment trace"
+        );
+        assert_eq!(a, b, "{policy}: full fleet reports must match");
+        // A different seed draws a different workload, so the report must
+        // change. (The round-robin *trace* is seed-independent by design —
+        // it cycles regardless of load — so the trace inequality is only
+        // checked for the load-aware policies.)
+        let c = run_policy(policy, 12);
+        assert_ne!(a, c, "{policy}: the seed must actually reach the workload");
+        if policy != RouterPolicy::RoundRobin {
+            assert_ne!(
+                a.assignments, c.assignments,
+                "{policy}: load-aware routing must see the new workload"
+            );
+        }
+    }
+}
+
+/// SLO-aware routing really partitions: with two classes on four
+/// replicas, chat (class 0) only ever lands on replicas {0, 2} and
+/// summarization (class 1) on {1, 3}.
+#[test]
+fn slo_aware_isolates_classes_onto_their_partition() {
+    let report = run_policy(RouterPolicy::SloAware, 5);
+    let mix = skewed_mix();
+    let stream = mix.generate(SKEWED_MIX_REQUESTS, 5);
+    for (cr, (id, replica)) in stream.iter().zip(&report.assignments) {
+        assert_eq!(cr.request.id, *id);
+        let replica = replica.expect("no admission control, nothing shed");
+        assert_eq!(
+            replica % 2,
+            cr.tenant % 2,
+            "request {id} of class {} routed off-partition to replica {replica}",
+            cr.tenant
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Conservation across the fleet at every step: requests offered to
+    /// the cluster are always exactly accounted for as completed, shed,
+    /// or in flight — through routing, admission control, KV-pressure
+    /// preemption and drain.
+    #[test]
+    fn fleet_conserves_requests_at_every_step(
+        seed in 0u64..1000,
+        replicas in 1usize..4,
+        count in 1usize..60,
+        policy_pick in 0usize..4,
+        capped in 0usize..2,
+    ) {
+        let arch = ador::baselines::ador_table3();
+        let model = presets::llama3_8b();
+        let policy = [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvLoad,
+            RouterPolicy::SloAware,
+        ][policy_pick];
+        let mut cfg = ClusterConfig::new(replicas, policy)
+            .with_engine(SimConfig::new(1.0, 8).with_kv_memory_fraction(0.05));
+        if capped == 1 {
+            cfg = cfg.with_queue_cap(3);
+        }
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(8.0),
+            TenantClass::summarization(3.0),
+        ]);
+        let mut sim = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg).unwrap();
+        sim.submit_stream(&mix, mix.generate(count, seed));
+        loop {
+            prop_assert_eq!(
+                sim.submitted(),
+                sim.completed() + sim.rejected() + sim.in_flight(),
+                "conservation violated mid-run"
+            );
+            if !sim.advance().unwrap() {
+                break;
+            }
+        }
+        let report = sim.finish();
+        prop_assert_eq!(report.completed + report.rejected, count);
+        let by_tenant: usize = report.tenants.iter().map(|t| t.completed + t.rejected).sum();
+        prop_assert_eq!(by_tenant, count);
+    }
+}
