@@ -1,0 +1,227 @@
+//! Prefix-cache experiment (beyond the paper): KV reuse on multi-turn
+//! session traffic, single-engine cache on/off, and cache-affinity
+//! routing across a fleet.
+//!
+//! The serving engine re-prefills every prompt token unless prefix
+//! caching is on; on session traffic — where each turn re-prompts with
+//! the whole conversation so far — that wastes most of the prefill
+//! budget. Table 1 quantifies the single-engine win (prefilled tokens,
+//! TTFT, hit rate). Table 2 asks the fleet question: reuse is strictly
+//! per-replica, so a router that scatters a session's turns
+//! (join-shortest-queue) forfeits most hits, while `CacheAffinity`
+//! pins sessions to their prefix.
+//!
+//! Alongside the tables, the bench emits `artifact:` lines with JSON
+//! objects (per-mode engine metrics, per-policy fleet attainment) for
+//! perf-tracking tooling.
+
+use ador_bench::{artifact, claim, json, table};
+use ador_core::baselines;
+use ador_core::cluster::scenarios::{
+    session_fleet, session_workload, SESSION_ENGINE_RATE, SESSION_RATE, SESSION_REQUESTS,
+    SESSION_SEED,
+};
+use ador_core::cluster::{ClusterSim, FleetReport, RouterPolicy};
+use ador_core::model::presets;
+use ador_core::perf::Deployment;
+use ador_core::serving::QosReport;
+
+const POLICIES: [RouterPolicy; 4] = [
+    RouterPolicy::RoundRobin,
+    RouterPolicy::JoinShortestQueue,
+    RouterPolicy::LeastKvLoad,
+    RouterPolicy::CacheAffinity,
+];
+
+/// Single-engine session run (a 1-replica fleet over the pinned session
+/// stream) with prefix caching on or off. The same scenario is pinned by
+/// `tests/prefix_caching.rs` via `ador::cluster::scenarios`.
+fn run_engine(caching: bool) -> FleetReport {
+    let arch = baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let cfg = session_fleet(1, RouterPolicy::RoundRobin).with_prefix_caching(caching);
+    ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+        .expect("cluster builds")
+        .run(
+            &session_workload(SESSION_ENGINE_RATE),
+            SESSION_REQUESTS / 2,
+            SESSION_SEED,
+        )
+        .expect("cluster runs")
+}
+
+fn run_fleet(policy: RouterPolicy) -> FleetReport {
+    let arch = baselines::ador_table3();
+    let model = presets::llama3_8b();
+    ClusterSim::new(
+        &arch,
+        &model,
+        Deployment::single_device(),
+        session_fleet(4, policy),
+    )
+    .expect("cluster builds")
+    .run(
+        &session_workload(SESSION_RATE),
+        SESSION_REQUESTS,
+        SESSION_SEED,
+    )
+    .expect("cluster runs")
+}
+
+fn engine_row(label: &str, fleet: &QosReport) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{}", fleet.prefilled_tokens),
+        format!("{:.2}", fleet.prefix_hit_rate()),
+        format!("{}", fleet.ttft.mean),
+        format!("{}", fleet.ttft.p95),
+        format!("{}", fleet.tbt.p50),
+        format!("{}", fleet.preemptions),
+    ]
+}
+
+fn cache_on_off() -> (FleetReport, FleetReport) {
+    let off = run_engine(false);
+    let on = run_engine(true);
+    let rows = vec![
+        engine_row("cache off", off.fleet.as_ref().expect("completed")),
+        engine_row("cache on", on.fleet.as_ref().expect("completed")),
+    ];
+    table(
+        "Prefix cache: one engine on multi-turn chat sessions (3 req/s, 250 turns)",
+        &[
+            "mode",
+            "prefilled tokens",
+            "hit rate",
+            "TTFT mean",
+            "TTFT p95",
+            "TBT p50",
+            "preemptions",
+        ],
+        &rows,
+    );
+    (off, on)
+}
+
+fn affinity_vs_load_balancing() -> Vec<(RouterPolicy, FleetReport)> {
+    let reports: Vec<(RouterPolicy, FleetReport)> =
+        POLICIES.iter().map(|&p| (p, run_fleet(p))).collect();
+    let mut rows = Vec::new();
+    for (policy, report) in &reports {
+        let fleet = report.fleet.as_ref().expect("requests completed");
+        rows.push(vec![
+            policy.to_string(),
+            format!("{:.3}", report.fleet_attainment()),
+            format!("{:.2}", fleet.prefix_hit_rate()),
+            format!("{}", fleet.prefilled_tokens),
+            format!("{}", fleet.ttft.p95),
+            format!("{:.3}", report.imbalance),
+        ]);
+    }
+    table(
+        "Prefix cache: router policies on the session workload (4 caching replicas, 80 req/s)",
+        &[
+            "policy",
+            "fleet attainment",
+            "hit rate",
+            "prefilled tokens",
+            "TTFT p95",
+            "imbalance (CV)",
+        ],
+        &rows,
+    );
+    reports
+}
+
+fn main() {
+    let (off, on) = cache_on_off();
+    let fleet_off = off.fleet.expect("completed");
+    let fleet_on = on.fleet.expect("completed");
+    claim(
+        "prefix caching cuts session prefill",
+        "cache-aware admission is a first-order serving lever (Apt-Serve, vLLM APC)",
+        &format!(
+            "prefilled tokens {} -> {} ({:.0} % saved), TTFT mean {} -> {}",
+            fleet_off.prefilled_tokens,
+            fleet_on.prefilled_tokens,
+            100.0 * (1.0 - fleet_on.prefilled_tokens as f64 / fleet_off.prefilled_tokens as f64),
+            fleet_off.ttft.mean,
+            fleet_on.ttft.mean,
+        ),
+    );
+
+    let reports = affinity_vs_load_balancing();
+    let get = |p: RouterPolicy| {
+        reports
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, r)| r)
+            .expect("policy present")
+    };
+    let affinity = get(RouterPolicy::CacheAffinity);
+    let jsq = get(RouterPolicy::JoinShortestQueue);
+    let cmp = |a: f64, b: f64| {
+        if a < b {
+            "<"
+        } else if a > b {
+            ">"
+        } else {
+            "="
+        }
+    };
+    claim(
+        "cache-affinity routing beats scatter on sessions",
+        "per-replica reuse makes session locality a routing concern (AdaServe)",
+        &format!(
+            "attainment CacheAffinity {:.3} {} JSQ {:.3}; hit rate {:.2} {} {:.2}",
+            affinity.fleet_attainment(),
+            cmp(affinity.fleet_attainment(), jsq.fleet_attainment()),
+            jsq.fleet_attainment(),
+            affinity
+                .fleet
+                .as_ref()
+                .expect("completed")
+                .prefix_hit_rate(),
+            cmp(
+                affinity
+                    .fleet
+                    .as_ref()
+                    .expect("completed")
+                    .prefix_hit_rate(),
+                jsq.fleet.as_ref().expect("completed").prefix_hit_rate(),
+            ),
+            jsq.fleet.as_ref().expect("completed").prefix_hit_rate(),
+        ),
+    );
+
+    // Machine-readable perf artifacts.
+    let engine_obj = |label: &str, fleet: &QosReport| {
+        json::object(&[
+            ("mode", json::string(label)),
+            ("prefilled_tokens", json::num(fleet.prefilled_tokens as f64)),
+            ("prefix_hit_rate", json::num(fleet.prefix_hit_rate())),
+            ("ttft_mean_s", json::num(fleet.ttft.mean.get())),
+            ("ttft_p95_s", json::num(fleet.ttft.p95.get())),
+            ("preemptions", json::num(fleet.preemptions as f64)),
+        ])
+    };
+    artifact(
+        "prefix_cache_on_off",
+        &json::array(&[engine_obj("off", &fleet_off), engine_obj("on", &fleet_on)]),
+    );
+
+    let policy_objs: Vec<String> = reports
+        .iter()
+        .map(|(policy, report)| {
+            let fleet = report.fleet.as_ref().expect("completed");
+            json::object(&[
+                ("policy", json::string(&policy.to_string())),
+                ("fleet_attainment", json::num(report.fleet_attainment())),
+                ("prefix_hit_rate", json::num(fleet.prefix_hit_rate())),
+                ("prefilled_tokens", json::num(fleet.prefilled_tokens as f64)),
+                ("imbalance", json::num(report.imbalance)),
+            ])
+        })
+        .collect();
+    artifact("prefix_cache_routing", &json::array(&policy_objs));
+}

@@ -55,6 +55,17 @@ impl ClusterConfig {
         self.queue_cap = Some(cap);
         self
     }
+
+    /// Enables or disables prefix-aware KV reuse on every replica engine
+    /// (shorthand for setting
+    /// [`SimConfig::prefix_caching`](ador_serving::SimConfig::prefix_caching)
+    /// on the embedded engine config). Reuse is strictly per-replica, so
+    /// pair it with [`RouterPolicy::CacheAffinity`] to keep a session's
+    /// turns where its prefix lives.
+    pub fn with_prefix_caching(mut self, enabled: bool) -> Self {
+        self.engine.prefix_caching = enabled;
+        self
+    }
 }
 
 /// A fleet of engine replicas behind a [`Router`].
@@ -221,7 +232,12 @@ impl<'a> ClusterSim<'a> {
                 engine.step_until(arrival)?;
             }
             let snapshots: Vec<ReplicaSnapshot> = self.engines.iter().map(snapshot).collect();
-            let idx = self.router.route(cr.tenant, self.classes.len(), &snapshots);
+            let idx = self.router.route(
+                cr.tenant,
+                self.classes.len(),
+                cr.request.prefix_group,
+                &snapshots,
+            );
             let admit = self
                 .cfg
                 .queue_cap

@@ -13,15 +13,21 @@
 //!   the live load snapshots; after the last arrival the fleet drains.
 //! - **[`Router`] / [`RouterPolicy`]** — pluggable routing:
 //!   round-robin (the count-balancing baseline), join-shortest-queue,
-//!   least-KV-load (token-backlog aware), and SLO-aware class
-//!   partitioning. Deterministic: ties break toward the lowest replica
-//!   index, so the same seed reproduces the same assignment trace.
+//!   least-KV-load (token-backlog aware), SLO-aware class partitioning,
+//!   and cache-affinity (sticky per-session routing that keeps a
+//!   session's turns on the replica whose prefix cache holds its
+//!   context, spilling past [`AFFINITY_SPILL`]). Deterministic: ties
+//!   break toward the lowest replica index, so the same seed reproduces
+//!   the same assignment trace.
 //! - **[`TenantMix`] / [`TenantClass`]** — multi-tenant workloads:
 //!   chatbot / summarization / code-completion presets with distinct
 //!   token-length marginals, SLO targets and arrival processes
 //!   ([`ArrivalProcess::Poisson`] plus the bursty
 //!   [`ArrivalProcess::OnOffMmpp`]), multiplexed into one seeded,
-//!   deterministic request stream.
+//!   deterministic request stream. Classes with a [`SessionShape`]
+//!   emit multi-turn conversations whose prompts grow by the previous
+//!   context — the prefix-caching workload
+//!   ([`ClusterConfig::with_prefix_caching`]).
 //! - **[`FleetReport`]** — fleet-wide QoS: the merged engine report
 //!   (via [`QosReport::merge`](ador_serving::QosReport::merge)),
 //!   per-tenant SLO attainment (shed requests count as misses),
@@ -71,5 +77,5 @@ mod tenant;
 pub use capacity::{cluster_capacity, ClusterCapacityResult};
 pub use cluster::{ClusterConfig, ClusterSim};
 pub use report::{FleetReport, TenantQos};
-pub use router::{ReplicaSnapshot, Router, RouterPolicy};
-pub use tenant::{ArrivalProcess, ClusterRequest, TenantClass, TenantMix};
+pub use router::{ReplicaSnapshot, Router, RouterPolicy, AFFINITY_SPILL};
+pub use tenant::{ArrivalProcess, ClusterRequest, SessionShape, TenantClass, TenantMix};

@@ -1,5 +1,6 @@
 //! The cluster front door: pluggable request-to-replica routing policies.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use serde::Serialize;
@@ -32,7 +33,32 @@ pub enum RouterPolicy {
     /// replicas of their own. Isolates latency-critical tenants from
     /// bursty batch traffic at the cost of statistical multiplexing.
     SloAware,
+    /// Sticky session routing for prefix-cache locality: a request whose
+    /// [`prefix_group`](ador_serving::Request::prefix_group) was seen
+    /// before goes back to the replica that served the session's earlier
+    /// turns — the replica whose prefix cache holds the session's context
+    /// (reuse is strictly per-replica). Ungrouped requests, first turns,
+    /// and turns whose sticky replica has fallen more than
+    /// [`AFFINITY_SPILL`] of a KV budget behind the least-loaded replica
+    /// fall back to [`RouterPolicy::LeastKvLoad`] (spilled sessions are
+    /// re-pinned to the new replica, where their prefix is rebuilt).
+    CacheAffinity,
 }
+
+/// How much more KV demand (as a fraction of one replica's budget) the
+/// sticky replica of a session may carry than the least-loaded replica
+/// before [`RouterPolicy::CacheAffinity`] gives up cache locality and
+/// spills the session: losing a prefix costs one re-prefill, while
+/// queueing behind a saturated replica costs every subsequent request.
+pub const AFFINITY_SPILL: f64 = 0.5;
+
+/// Upper bound on live [`RouterPolicy::CacheAffinity`] pins. When the
+/// table would grow past this, pins not used within the last
+/// `AFFINITY_PIN_CAP` routing decisions are pruned — those sessions are
+/// long ended (or their prefixes long evicted), so dropping the pin
+/// costs at most one re-prefill. Keeps router memory bounded by recent
+/// traffic instead of total sessions ever served.
+pub const AFFINITY_PIN_CAP: usize = 1 << 16;
 
 impl fmt::Display for RouterPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -41,6 +67,7 @@ impl fmt::Display for RouterPolicy {
             RouterPolicy::JoinShortestQueue => "join-shortest-queue",
             RouterPolicy::LeastKvLoad => "least-kv-load",
             RouterPolicy::SloAware => "slo-aware",
+            RouterPolicy::CacheAffinity => "cache-affinity",
         };
         f.write_str(name)
     }
@@ -76,18 +103,33 @@ impl ReplicaSnapshot {
 }
 
 /// The routing state machine: a policy plus whatever memory it needs
-/// (only round-robin carries any). Fully deterministic: ties break toward
+/// (round-robin carries a cursor; cache-affinity carries the
+/// session-to-replica pin table). Fully deterministic: ties break toward
 /// the lowest replica index.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Router {
     policy: RouterPolicy,
     rr_next: usize,
+    /// Cache-affinity pin table: the replica that last served each
+    /// prefix group, with the routing-decision tick of its last use
+    /// (for [`AFFINITY_PIN_CAP`] pruning). A front-door session table,
+    /// not an inspection of replica caches — a pinned prefix may have
+    /// been evicted, in which case the pinned replica simply
+    /// re-prefills it.
+    affinity: HashMap<u64, (usize, u64)>,
+    /// Routing decisions taken so far (the pin table's logical clock).
+    routed: u64,
 }
 
 impl Router {
     /// Creates a router with the given policy.
     pub fn new(policy: RouterPolicy) -> Self {
-        Self { policy, rr_next: 0 }
+        Self {
+            policy,
+            rr_next: 0,
+            affinity: HashMap::new(),
+            routed: 0,
+        }
     }
 
     /// The configured policy.
@@ -96,12 +138,19 @@ impl Router {
     }
 
     /// Picks the replica for a request from SLO class `tenant` (of
-    /// `classes` total), given the fleet's load snapshots.
+    /// `classes` total) carrying `prefix_group` content identity, given
+    /// the fleet's load snapshots.
     ///
     /// # Panics
     ///
     /// Panics if `replicas` is empty.
-    pub fn route(&mut self, tenant: usize, classes: usize, replicas: &[ReplicaSnapshot]) -> usize {
+    pub fn route(
+        &mut self,
+        tenant: usize,
+        classes: usize,
+        prefix_group: Option<u64>,
+        replicas: &[ReplicaSnapshot],
+    ) -> usize {
         assert!(!replicas.is_empty(), "cannot route across zero replicas");
         match self.policy {
             RouterPolicy::RoundRobin => {
@@ -121,6 +170,32 @@ impl Router {
                 } else {
                     argmin(partition.into_iter(), |i| replicas[i].load())
                 }
+            }
+            RouterPolicy::CacheAffinity => {
+                let fallback = argmin(0..replicas.len(), |i| replicas[i].kv_load());
+                let Some(group) = prefix_group else {
+                    return fallback;
+                };
+                self.routed += 1;
+                let chosen = match self.affinity.get(&group) {
+                    Some(&(pinned, _))
+                        if pinned < replicas.len()
+                            && replicas[pinned].kv_load()
+                                <= replicas[fallback].kv_load() + AFFINITY_SPILL =>
+                    {
+                        pinned
+                    }
+                    _ => fallback,
+                };
+                if self.affinity.len() >= AFFINITY_PIN_CAP && !self.affinity.contains_key(&group) {
+                    // Prune pins idle for a full cap's worth of decisions:
+                    // those sessions ended long ago (cost of a wrong prune
+                    // is one re-prefill, not correctness).
+                    let horizon = self.routed.saturating_sub(AFFINITY_PIN_CAP as u64);
+                    self.affinity.retain(|_, &mut (_, used)| used > horizon);
+                }
+                self.affinity.insert(group, (chosen, self.routed));
+                chosen
             }
         }
     }
@@ -161,7 +236,7 @@ mod tests {
     fn round_robin_cycles() {
         let mut r = Router::new(RouterPolicy::RoundRobin);
         let snaps = vec![snap(9, 9, 900), snap(0, 0, 0), snap(0, 0, 0)];
-        let picks: Vec<usize> = (0..6).map(|_| r.route(0, 1, &snaps)).collect();
+        let picks: Vec<usize> = (0..6).map(|_| r.route(0, 1, None, &snaps)).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2], "ignores load by design");
     }
 
@@ -169,16 +244,16 @@ mod tests {
     fn jsq_picks_least_loaded_with_low_index_ties() {
         let mut r = Router::new(RouterPolicy::JoinShortestQueue);
         assert_eq!(
-            r.route(0, 1, &[snap(3, 2, 0), snap(1, 2, 0), snap(4, 0, 0)]),
+            r.route(0, 1, None, &[snap(3, 2, 0), snap(1, 2, 0), snap(4, 0, 0)]),
             1
         );
         // Tie between 0 and 2 → lowest index.
         assert_eq!(
-            r.route(0, 1, &[snap(1, 1, 0), snap(3, 0, 0), snap(2, 0, 0)]),
+            r.route(0, 1, None, &[snap(1, 1, 0), snap(3, 0, 0), snap(2, 0, 0)]),
             0
         );
         assert_eq!(
-            r.route(0, 1, &[snap(1, 0, 0), snap(2, 0, 0), snap(1, 0, 0)]),
+            r.route(0, 1, None, &[snap(1, 0, 0), snap(2, 0, 0), snap(1, 0, 0)]),
             0
         );
     }
@@ -188,9 +263,13 @@ mod tests {
         let mut r = Router::new(RouterPolicy::LeastKvLoad);
         // Replica 0 has fewer requests but far more resident KV.
         let snaps = vec![snap(0, 1, 800), snap(2, 2, 100)];
-        assert_eq!(r.route(0, 1, &snaps), 1);
+        assert_eq!(r.route(0, 1, None, &snaps), 1);
         let mut jsq = Router::new(RouterPolicy::JoinShortestQueue);
-        assert_eq!(jsq.route(0, 1, &snaps), 0, "JSQ sees it the other way");
+        assert_eq!(
+            jsq.route(0, 1, None, &snaps),
+            0,
+            "JSQ sees it the other way"
+        );
     }
 
     #[test]
@@ -212,7 +291,7 @@ mod tests {
             backlog_tokens: 0,
             kv_budget_tokens: 1000,
         };
-        assert_eq!(r.route(0, 1, &[herd_target, steady]), 1);
+        assert_eq!(r.route(0, 1, None, &[herd_target, steady]), 1);
     }
 
     #[test]
@@ -220,17 +299,56 @@ mod tests {
         let mut r = Router::new(RouterPolicy::SloAware);
         let snaps = vec![snap(5, 0, 0), snap(0, 0, 0), snap(1, 0, 0), snap(9, 0, 0)];
         // Two classes over four replicas: class 0 → {0, 2}, class 1 → {1, 3}.
-        assert_eq!(r.route(0, 2, &snaps), 2);
-        assert_eq!(r.route(1, 2, &snaps), 1);
+        assert_eq!(r.route(0, 2, None, &snaps), 2);
+        assert_eq!(r.route(1, 2, None, &snaps), 1);
         // Three classes over one replica: class 2's partition is empty →
         // fleet-wide fallback.
         let one = vec![snap(0, 0, 0)];
-        assert_eq!(r.route(2, 3, &one), 0);
+        assert_eq!(r.route(2, 3, None, &one), 0);
+    }
+
+    #[test]
+    fn cache_affinity_pins_sessions_and_spills_under_pressure() {
+        let mut r = Router::new(RouterPolicy::CacheAffinity);
+        let even = vec![snap(0, 0, 100), snap(0, 0, 100), snap(0, 0, 100)];
+        // First turn of a session: falls back to least-KV (tie → 0) and
+        // pins the session there.
+        assert_eq!(r.route(0, 1, Some(77), &even), 0);
+        // Later turns stick to replica 0 even when another replica is
+        // (mildly) less loaded.
+        let mild = vec![snap(0, 0, 300), snap(0, 0, 100), snap(0, 0, 100)];
+        assert_eq!(
+            r.route(0, 1, Some(77), &mild),
+            0,
+            "locality beats mild load"
+        );
+        // A different session pins independently.
+        assert_eq!(r.route(0, 1, Some(99), &mild), 1);
+        // Once the pinned replica falls more than AFFINITY_SPILL of a
+        // budget behind the best, the session spills and is re-pinned.
+        let hot = vec![snap(0, 0, 800), snap(0, 0, 100), snap(0, 0, 100)];
+        assert_eq!(r.route(0, 1, Some(77), &hot), 1, "spill past the threshold");
+        assert_eq!(
+            r.route(0, 1, Some(77), &even),
+            1,
+            "the spilled session is re-pinned to its new replica"
+        );
+    }
+
+    #[test]
+    fn cache_affinity_without_group_is_least_kv_load() {
+        let mut affinity = Router::new(RouterPolicy::CacheAffinity);
+        let mut kv = Router::new(RouterPolicy::LeastKvLoad);
+        let snaps = vec![snap(1, 1, 500), snap(0, 2, 200), snap(3, 0, 900)];
+        assert_eq!(
+            affinity.route(0, 1, None, &snaps),
+            kv.route(0, 1, None, &snaps)
+        );
     }
 
     #[test]
     #[should_panic(expected = "zero replicas")]
     fn routing_across_no_replicas_panics() {
-        let _ = Router::new(RouterPolicy::RoundRobin).route(0, 1, &[]);
+        let _ = Router::new(RouterPolicy::RoundRobin).route(0, 1, None, &[]);
     }
 }

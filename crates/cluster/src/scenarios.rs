@@ -34,3 +34,39 @@ pub fn scarce_kv_fleet(replicas: usize, policy: RouterPolicy) -> ClusterConfig {
     ClusterConfig::new(replicas, policy)
         .with_engine(SimConfig::new(1.0, 16).with_kv_memory_fraction(0.05))
 }
+
+/// Aggregate request rate (req/s, turns not session starts) of the pinned
+/// fleet session scenario: 4 replicas pushed past their cache-cold
+/// capacity, so routing that preserves prefix reuse converts saved
+/// prefill directly into SLO attainment.
+pub const SESSION_RATE: f64 = 80.0;
+
+/// Request rate of the pinned *single-engine* session scenario: moderate
+/// load, where prefix caching shows up as TTFT rather than survival.
+pub const SESSION_ENGINE_RATE: f64 = 3.0;
+
+/// Request count of the pinned session scenario.
+pub const SESSION_REQUESTS: usize = 500;
+
+/// Workload seed of the pinned session scenario.
+pub const SESSION_SEED: u64 = 11;
+
+/// The pinned session workload: multi-turn chat conversations
+/// ([`TenantClass::chat_sessions`]) whose follow-up turns re-prompt with
+/// the whole conversation so far — the traffic class prefix caching and
+/// cache-affinity routing exist for. Rescaled so the emitted *request*
+/// rate (turns, not session starts) is `aggregate` req/s.
+pub fn session_workload(aggregate: f64) -> TenantMix {
+    TenantMix::new(vec![TenantClass::chat_sessions(1.0)]).with_aggregate_rate(aggregate)
+}
+
+/// A fleet of 32-slot prefix-caching replicas with a moderate KV budget
+/// (25 % fraction): enough residency for session prefixes to survive
+/// between turns, tight enough that retained prefixes face LRU pressure.
+/// Shared by the `exp_prefix_cache` bench, the `session_serving` example
+/// and the pinned tests in `tests/prefix_caching.rs`.
+pub fn session_fleet(replicas: usize, policy: RouterPolicy) -> ClusterConfig {
+    ClusterConfig::new(replicas, policy)
+        .with_engine(SimConfig::new(1.0, 32).with_kv_memory_fraction(0.25))
+        .with_prefix_caching(true)
+}

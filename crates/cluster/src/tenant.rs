@@ -7,6 +7,13 @@
 //! process (steady Poisson or bursty on/off MMPP). A [`TenantMix`]
 //! multiplexes several classes into one seeded, arrival-sorted
 //! [`ClusterRequest`] stream.
+//!
+//! Classes with a [`SessionShape`] emit multi-turn conversations instead
+//! of one-shot requests: each arrival starts a session whose follow-up
+//! turns re-prompt with the full previous context plus a fresh user
+//! message, tagged with one `prefix_group` per session — the workload
+//! whose growing shared prefixes a prefix-caching engine
+//! ([`ador_serving::SimConfig::prefix_caching`]) exploits.
 
 use ador_serving::{Request, Slo, TraceProfile};
 use ador_units::Seconds;
@@ -134,6 +141,71 @@ fn exp_sample(rng: &mut StdRng, mean: f64) -> f64 {
     -u.ln() * mean
 }
 
+/// The shape of a class's multi-turn sessions.
+///
+/// Each arrival of the class's [`ArrivalProcess`] starts a *session*: a
+/// geometric number of turns, each prompting with the full previous
+/// context (previous prompt plus previous response) extended by a fresh
+/// user message, after an exponential think-time gap. All turns of one
+/// session carry the same
+/// [`Request::prefix_group`](ador_serving::Request::prefix_group), so a
+/// prefix-caching engine can skip re-prefilling the shared history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionShape {
+    /// Mean turns per session (geometric, so sessions of length 1 remain
+    /// common). Must be ≥ 1.
+    pub mean_turns: f64,
+    /// Mean think time between a turn's arrival and the next turn's
+    /// arrival (exponential). Open-loop: the gap models the user reading
+    /// the response and typing, independent of service latency.
+    pub mean_think: Seconds,
+    /// Token-length marginals of follow-up user messages (only the
+    /// `input` marginal is sampled; first-turn prompts and every turn's
+    /// response come from the class [`TraceProfile`]).
+    pub followup: TraceProfile,
+}
+
+impl SessionShape {
+    /// Interactive chat sessions: 4 turns on average, 8 s mean think
+    /// time, follow-up messages with a median of ~80 tokens.
+    pub fn chat() -> Self {
+        Self {
+            mean_turns: 4.0,
+            mean_think: Seconds::new(8.0),
+            followup: TraceProfile {
+                input_mu: 80.0_f64.ln(),
+                input_sigma: 0.7,
+                output_mu: 0.0,
+                output_sigma: 0.0,
+                max_tokens: 1024,
+            },
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.mean_turns >= 1.0 && self.mean_turns.is_finite(),
+            "sessions need a mean of at least one turn: {self:?}"
+        );
+        assert!(
+            self.mean_think.get() >= 0.0,
+            "think time cannot be negative: {self:?}"
+        );
+    }
+
+    /// Draws a session length: 1 + Geometric(p) with `p = 1/mean_turns`,
+    /// so the mean is `mean_turns` and single-turn sessions stay common.
+    fn sample_turns(&self, rng: &mut StdRng) -> usize {
+        if self.mean_turns <= 1.0 {
+            return 1;
+        }
+        let p = 1.0 / self.mean_turns;
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        // Inverse-CDF of the geometric distribution on {0, 1, ...}.
+        1 + (u.ln() / (1.0 - p).ln()).floor() as usize
+    }
+}
+
 /// One traffic class: a name, token-length marginals, an SLO contract and
 /// an arrival process.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -146,6 +218,10 @@ pub struct TenantClass {
     pub slo: Slo,
     /// The class's arrival process.
     pub arrivals: ArrivalProcess,
+    /// Multi-turn session structure; `None` means one-shot requests.
+    /// When set, arrivals are session *starts* and the emitted request
+    /// rate is roughly `mean_turns` times the arrival rate.
+    pub session: Option<SessionShape>,
 }
 
 impl TenantClass {
@@ -166,7 +242,30 @@ impl TenantClass {
             profile,
             slo,
             arrivals,
+            session: None,
         }
+    }
+
+    /// Turns the class into a session workload: each arrival starts a
+    /// multi-turn conversation of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape's mean turn count is below 1 or its think time
+    /// is negative.
+    pub fn with_sessions(mut self, shape: SessionShape) -> Self {
+        shape.validate();
+        self.session = Some(shape);
+        self
+    }
+
+    /// Multi-turn chatbot sessions: ultrachat-like first prompts and
+    /// responses, the paper's strict SLO, Poisson session starts at
+    /// `rate` sessions/s, and [`SessionShape::chat`] turn structure. The
+    /// flagship prefix-caching workload: every follow-up turn re-prompts
+    /// with the whole conversation so far.
+    pub fn chat_sessions(rate: f64) -> Self {
+        Self::chatbot(rate).with_sessions(SessionShape::chat())
     }
 
     /// Interactive chatbot traffic: ultrachat-like lengths, the paper's
@@ -247,9 +346,15 @@ impl TenantMix {
         &self.classes
     }
 
-    /// The combined long-run mean arrival rate, req/s.
+    /// The combined long-run mean **request** rate, req/s. For session
+    /// classes each arrival is a session start that fans out into
+    /// `mean_turns` requests on average, so it contributes
+    /// `mean_rate × mean_turns`.
     pub fn aggregate_rate(&self) -> f64 {
-        self.classes.iter().map(|c| c.arrivals.mean_rate()).sum()
+        self.classes
+            .iter()
+            .map(|c| c.arrivals.mean_rate() * c.session.map_or(1.0, |s| s.mean_turns))
+            .sum()
     }
 
     /// Rescales every class's arrival process so the aggregate mean rate
@@ -269,22 +374,56 @@ impl TenantMix {
     }
 
     /// Generates the first `count` requests of the multiplexed stream:
-    /// each class draws its own seeded arrival/length sequence, the
-    /// per-class streams merge by arrival time, and ids are assigned in
-    /// merged order (`0..count`). Fully deterministic under `seed`.
+    /// each class draws its own seeded arrival/length sequence (session
+    /// classes expand each arrival into a multi-turn conversation with a
+    /// growing, `prefix_group`-tagged context), the per-class streams
+    /// merge by arrival time, and ids are assigned in merged order
+    /// (`0..count`). Fully deterministic under `seed`.
     pub fn generate(&self, count: usize, seed: u64) -> Vec<ClusterRequest> {
-        let mut merged: Vec<(Seconds, usize, usize, usize)> = Vec::new();
+        let mut merged: Vec<(Seconds, usize, usize, usize, Option<u64>)> = Vec::new();
         for (tenant, class) in self.classes.iter().enumerate() {
             // Decorrelate classes with a per-class seed; any class alone
-            // can supply the whole truncated stream, so `count` draws each
-            // is always enough.
+            // can supply the whole truncated stream (sessions yield at
+            // least one turn per arrival), so `count` draws each is
+            // always enough.
             let mut rng = StdRng::seed_from_u64(
                 seed.wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             );
-            for arrival in class.arrivals.sample_arrivals(&mut rng, count) {
-                let input = class.profile.sample_input(&mut rng);
-                let output = class.profile.sample_output(&mut rng);
-                merged.push((arrival, tenant, input, output));
+            let starts = class.arrivals.sample_arrivals(&mut rng, count);
+            match class.session {
+                None => {
+                    for arrival in starts {
+                        let input = class.profile.sample_input(&mut rng);
+                        let output = class.profile.sample_output(&mut rng);
+                        merged.push((arrival, tenant, input, output, None));
+                    }
+                }
+                Some(shape) => {
+                    for (session, start) in starts.into_iter().enumerate() {
+                        let group = session_group(seed, tenant, session);
+                        let turns = shape.sample_turns(&mut rng);
+                        let mut arrival = start;
+                        let mut context = 0usize;
+                        for _ in 0..turns {
+                            // Follow-up turns re-prompt with the full
+                            // previous context plus a fresh user message.
+                            let fresh = if context == 0 {
+                                class.profile.sample_input(&mut rng)
+                            } else {
+                                shape.followup.sample_input(&mut rng)
+                            };
+                            let input = (context + fresh).min(class.profile.max_tokens.max(1));
+                            let output = class.profile.sample_output(&mut rng);
+                            merged.push((arrival, tenant, input, output, Some(group)));
+                            context = input + output;
+                            if context + 1 >= class.profile.max_tokens {
+                                // Context window exhausted: end the session.
+                                break;
+                            }
+                            arrival += Seconds::new(exp_sample(&mut rng, shape.mean_think.get()));
+                        }
+                    }
+                }
             }
         }
         merged.sort_by(|a, b| {
@@ -296,12 +435,28 @@ impl TenantMix {
             .into_iter()
             .take(count)
             .enumerate()
-            .map(|(id, (arrival, tenant, input, output))| ClusterRequest {
-                request: Request::new(id as u64, arrival, input, output),
-                tenant,
-            })
+            .map(
+                |(id, (arrival, tenant, input, output, group))| ClusterRequest {
+                    request: Request {
+                        prefix_group: group,
+                        ..Request::new(id as u64, arrival, input, output)
+                    },
+                    tenant,
+                },
+            )
             .collect()
     }
+}
+
+/// Deterministic, collision-resistant session identity (splitmix64 over
+/// the seed/tenant/session triple): the `prefix_group` every turn of one
+/// session carries.
+fn session_group(seed: u64, tenant: usize, session: usize) -> u64 {
+    ador_serving::splitmix64(
+        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((tenant as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((session as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)),
+    )
 }
 
 #[cfg(test)]
@@ -416,6 +571,78 @@ mod tests {
             }
             _ => panic!("summarization preset must be MMPP"),
         }
+    }
+
+    #[test]
+    fn session_turns_share_a_group_and_grow_their_context() {
+        let mix = TenantMix::new(vec![TenantClass::chat_sessions(2.0)]);
+        let stream = mix.generate(300, 7);
+        assert_eq!(stream.len(), 300);
+        // Every request belongs to a session.
+        assert!(stream.iter().all(|r| r.request.prefix_group.is_some()));
+
+        // Group turns by session and check the multi-turn structure.
+        let mut by_group: std::collections::HashMap<u64, Vec<&ClusterRequest>> =
+            std::collections::HashMap::new();
+        for r in &stream {
+            by_group
+                .entry(r.request.prefix_group.unwrap())
+                .or_default()
+                .push(r);
+        }
+        let mut multi_turn = 0usize;
+        for turns in by_group.values() {
+            let mut turns = turns.clone();
+            turns.sort_by(|a, b| a.request.arrival.partial_cmp(&b.request.arrival).unwrap());
+            if turns.len() > 1 {
+                multi_turn += 1;
+            }
+            for pair in turns.windows(2) {
+                let (prev, next) = (&pair[0].request, &pair[1].request);
+                // A follow-up prompt strictly extends the full previous
+                // context (prompt + response) with new user tokens; the
+                // session ends before the context window would overflow.
+                assert!(
+                    next.input_tokens > prev.input_tokens + prev.output_tokens,
+                    "follow-up prompt {} must extend the previous context {}",
+                    next.input_tokens,
+                    prev.input_tokens + prev.output_tokens
+                );
+            }
+        }
+        assert!(
+            multi_turn * 2 >= by_group.len(),
+            "a mean of 4 turns must yield many multi-turn sessions \
+             ({multi_turn} of {})",
+            by_group.len()
+        );
+
+        // Deterministic under the seed, different under another.
+        assert_eq!(stream, mix.generate(300, 7));
+        assert_ne!(stream, mix.generate(300, 8));
+    }
+
+    #[test]
+    fn session_rate_counts_turns_not_starts() {
+        let one_shot = TenantMix::new(vec![TenantClass::chatbot(2.0)]);
+        let sessions = TenantMix::new(vec![TenantClass::chat_sessions(2.0)]);
+        assert!((one_shot.aggregate_rate() - 2.0).abs() < 1e-12);
+        assert!(
+            (sessions.aggregate_rate() - 8.0).abs() < 1e-12,
+            "4 turns avg"
+        );
+        // Rescaling still lands on the requested request rate.
+        let scaled = sessions.clone().with_aggregate_rate(4.0);
+        assert!((scaled.aggregate_rate() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one turn")]
+    fn sub_single_turn_sessions_rejected() {
+        let _ = TenantClass::chatbot(1.0).with_sessions(SessionShape {
+            mean_turns: 0.5,
+            ..SessionShape::chat()
+        });
     }
 
     #[test]

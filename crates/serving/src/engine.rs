@@ -20,6 +20,7 @@ use std::fmt;
 use ador_perf::Evaluator;
 use ador_units::Seconds;
 
+use crate::prefix::{PrefixCache, PrefixCacheStats, PREFIX_BLOCK_TOKENS};
 use crate::sim::{SchedulerPolicy, SimConfig, SimError};
 use crate::{EngineCounters, QosReport, Request, RequestOutcome};
 
@@ -85,25 +86,40 @@ struct Active {
     job: Job,
     /// Tokens prefilled so far in the current pass.
     prefilled: usize,
-    /// Tokens the current pass must prefill before decoding.
+    /// Tokens the current pass must prefill before decoding (prompt plus
+    /// preemption recompute, minus the prefix-cache hit at admission).
     prefill_target: usize,
-    /// KV tokens currently resident for this request.
+    /// Private KV tokens resident for this request: prefilled tokens not
+    /// covered by shared cache blocks, plus decoded tokens.
     kv_held: usize,
+    /// Tokens covered by the prefix-cache blocks this request references
+    /// (charged to the shared pool, not to `kv_held`).
+    cached_tokens: usize,
+    /// Deepest prefix-cache block held ([`PrefixCache::ROOT`] when the
+    /// request holds none).
+    cache_node: usize,
 }
 
 impl Active {
-    fn admit(job: Job) -> Self {
-        let prefill_target = job.prefill_target();
+    fn admit(job: Job, cached_tokens: usize, cache_node: usize) -> Self {
+        let prefill_target = job.prefill_target() - cached_tokens;
         Self {
             job,
             prefilled: 0,
             prefill_target,
             kv_held: 0,
+            cached_tokens,
+            cache_node,
         }
     }
 
     fn is_decoding(&self) -> bool {
         self.prefilled == self.prefill_target
+    }
+
+    /// Full resident context: private KV plus shared prefix blocks.
+    fn context(&self) -> usize {
+        self.kv_held + self.cached_tokens
     }
 }
 
@@ -169,6 +185,10 @@ pub struct Engine<'a> {
     kv_in_use: usize,
     submitted: usize,
 
+    /// Prefix-aware KV reuse (`None` when [`SimConfig::prefix_caching`]
+    /// is off). Resident cache blocks are part of `kv_in_use`.
+    cache: Option<PrefixCache>,
+
     steps: usize,
     batch_samples: f64,
     queue_samples: f64,
@@ -176,6 +196,7 @@ pub struct Engine<'a> {
     peak_queue: usize,
     peak_kv: usize,
     preemptions: usize,
+    prefilled_tokens: usize,
     prev_step_prefilled: bool,
 }
 
@@ -198,6 +219,7 @@ impl<'a> Engine<'a> {
             now: Seconds::ZERO,
             kv_in_use: 0,
             submitted: 0,
+            cache: cfg.prefix_caching.then(PrefixCache::new),
             steps: 0,
             batch_samples: 0.0,
             queue_samples: 0.0,
@@ -205,6 +227,7 @@ impl<'a> Engine<'a> {
             peak_queue: 0,
             peak_kv: 0,
             preemptions: 0,
+            prefilled_tokens: 0,
             prev_step_prefilled: false,
         }
     }
@@ -300,6 +323,19 @@ impl<'a> Engine<'a> {
         self.kv_budget_tokens
     }
 
+    /// Tokens held by resident prefix-cache blocks — shared blocks
+    /// counted once, completed requests' retained prefixes included.
+    /// Always 0 when prefix caching is off. Part of
+    /// [`Engine::kv_in_use`].
+    pub fn prefix_resident_tokens(&self) -> usize {
+        self.cache.as_ref().map_or(0, PrefixCache::resident_tokens)
+    }
+
+    /// Lifetime prefix-cache counters, or `None` when caching is off.
+    pub fn prefix_stats(&self) -> Option<PrefixCacheStats> {
+        self.cache.as_ref().map(PrefixCache::stats)
+    }
+
     /// Whether every submitted request has completed.
     pub fn is_drained(&self) -> bool {
         self.pending.is_empty() && self.waiting.is_empty() && self.active.is_empty()
@@ -324,6 +360,7 @@ impl<'a> Engine<'a> {
                 sum / self.steps as f64
             }
         };
+        let cache = self.prefix_stats().unwrap_or_default();
         EngineCounters {
             mean_batch: per_step(self.batch_samples),
             peak_batch: self.peak_batch,
@@ -331,6 +368,10 @@ impl<'a> Engine<'a> {
             mean_queue_depth: per_step(self.queue_samples),
             peak_queue_depth: self.peak_queue,
             peak_kv_tokens: self.peak_kv,
+            prefilled_tokens: self.prefilled_tokens,
+            prefix_hit_tokens: cache.hit_tokens,
+            prefix_miss_tokens: cache.miss_tokens,
+            prefix_evicted_tokens: cache.evicted_tokens,
         }
     }
 
@@ -404,10 +445,25 @@ impl<'a> Engine<'a> {
             }
 
             // KV pressure: one decode step grows every decoding context by
-            // a token. Preempt youngest-first — never the oldest, so the
-            // engine always drains — until the growth fits the budget.
+            // a token. Evict cold cached prefix blocks first; only then
+            // preempt youngest-first — never the oldest, so the engine
+            // always drains — until the growth fits the budget.
             let mut decoders = self.active.iter().filter(|a| a.is_decoding()).count();
-            while self.kv_in_use + decoders > self.kv_budget_tokens && self.active.len() > 1 {
+            loop {
+                let over = (self.kv_in_use + decoders).saturating_sub(self.kv_budget_tokens);
+                if over == 0 {
+                    break;
+                }
+                if let Some(cache) = &mut self.cache {
+                    let freed = cache.evict(over);
+                    self.kv_in_use -= freed;
+                    if freed >= over {
+                        break;
+                    }
+                }
+                if self.active.len() <= 1 {
+                    break;
+                }
                 if self.preempt_youngest() {
                     decoders -= 1;
                 }
@@ -426,7 +482,12 @@ impl<'a> Engine<'a> {
             } else {
                 0
             };
-            let mut kv_headroom = self.kv_budget_tokens - self.kv_in_use - decoders;
+            // Headroom for fresh KV growth: free budget plus whatever
+            // eviction could reclaim. Growth granted against the
+            // evictable share is collected lazily by `charge_kv`.
+            let evictable = self.cache.as_ref().map_or(0, PrefixCache::evictable_tokens);
+            let mut kv_headroom =
+                (self.kv_budget_tokens + evictable).saturating_sub(self.kv_in_use + decoders);
             let mut chunks: Vec<(usize, usize)> = Vec::new();
             for (i, a) in self.active.iter().enumerate() {
                 if chunk_budget == 0 {
@@ -448,16 +509,46 @@ impl<'a> Engine<'a> {
                 let Some(job) = self.waiting.front() else {
                     break;
                 };
-                let take = chunk_take(job.prefill_target(), chunk_budget, kv_headroom);
+                // Match the prompt against the prefix cache before sizing
+                // the chunk: matched blocks are skipped entirely (at least
+                // one prompt token is always recomputed — its logits emit
+                // the first output token). Acquiring pins the matched
+                // blocks (they stop being evictable), which consumes the
+                // same headroom fresh growth does.
+                let (cached, cache_node) = match (&mut self.cache, job.request.prefix_group) {
+                    (Some(cache), Some(group)) => {
+                        let before = cache.evictable_tokens();
+                        let (cached, node) = cache.acquire(group, job.request.input_tokens - 1);
+                        let pinned = before - cache.evictable_tokens();
+                        if pinned > kv_headroom {
+                            cache.release(node);
+                            break;
+                        }
+                        kv_headroom -= pinned;
+                        (cached, node)
+                    }
+                    _ => (0, PrefixCache::ROOT),
+                };
+                let remaining = job.prefill_target() - cached;
+                let take = chunk_take(remaining, chunk_budget, kv_headroom);
                 if take == 0 {
+                    if let Some(cache) = &mut self.cache {
+                        cache.release(cache_node);
+                    }
                     break;
                 }
                 let job = self.waiting.pop_front().expect("peeked");
-                let remaining = job.prefill_target();
+                if let Some(cache) = &mut self.cache {
+                    if job.request.prefix_group.is_some() {
+                        let shareable = ((job.request.input_tokens - 1) / PREFIX_BLOCK_TOKENS)
+                            * PREFIX_BLOCK_TOKENS;
+                        cache.record_lookup(cached, shareable - cached);
+                    }
+                }
                 chunk_budget -= take;
                 kv_headroom -= take + usize::from(take == remaining);
                 chunks.push((self.active.len(), take));
-                self.active.push(Active::admit(job));
+                self.active.push(Active::admit(job, cached, cache_node));
             }
 
             // All actives mid-prefill with zero headroom and nobody
@@ -480,7 +571,7 @@ impl<'a> Engine<'a> {
                     .active
                     .iter()
                     .filter(|a| a.is_decoding())
-                    .map(|a| a.kv_held)
+                    .map(Active::context)
                     .sum();
                 step_time += self.decode_time(decoders, (ctx_sum / decoders).max(1))?;
             }
@@ -488,14 +579,23 @@ impl<'a> Engine<'a> {
             self.steps += 1;
             self.prev_step_prefilled = prefill_tokens > 0;
 
-            // Apply prefill progress token-granularly.
+            // Apply prefill progress token-granularly; prompts whose pass
+            // completed publish their full-block prefix into the cache so
+            // later requests of the same group (and later session turns)
+            // can share it.
             let mut received = vec![0usize; self.active.len()];
             for &(i, take) in &chunks {
                 received[i] = take;
+                self.charge_kv(take);
+                self.prefilled_tokens += take;
                 let a = &mut self.active[i];
                 a.prefilled += take;
                 a.kv_held += take;
-                self.kv_in_use += take;
+            }
+            for &(i, _) in &chunks {
+                if self.active[i].is_decoding() {
+                    self.cache_publish(i);
+                }
             }
 
             // Token emission: every request that decoded this step, plus
@@ -511,9 +611,9 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 batch_now += 1;
+                self.charge_kv(1);
                 let a = &mut self.active[i];
                 a.kv_held += 1;
-                self.kv_in_use += 1;
                 a.job.emit_token(self.now);
                 if a.job.done() {
                     finished.push(i);
@@ -521,7 +621,14 @@ impl<'a> Engine<'a> {
             }
             let completed = finished.len();
             for &i in finished.iter().rev() {
+                // Publish the finished context (prompt + response) into
+                // the cache — the follow-up turn of a session prompts with
+                // exactly this context — then drop the private remainder.
+                self.cache_publish(i);
                 let a = self.active.remove(i);
+                if let Some(cache) = &mut self.cache {
+                    cache.release(a.cache_node);
+                }
                 self.kv_in_use -= a.kv_held;
                 self.outcomes.push(finish(a.job, self.now));
             }
@@ -533,8 +640,9 @@ impl<'a> Engine<'a> {
             self.peak_kv = self.peak_kv.max(self.kv_in_use);
             debug_assert_eq!(
                 self.kv_in_use,
-                self.active.iter().map(|a| a.kv_held).sum::<usize>(),
-                "KV ledger must equal the sum of live contexts"
+                self.active.iter().map(|a| a.kv_held).sum::<usize>()
+                    + self.prefix_resident_tokens(),
+                "KV ledger must equal private contexts plus resident cache blocks"
             );
             debug_assert!(
                 self.kv_in_use <= self.kv_budget_tokens,
@@ -549,19 +657,64 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Pauses the youngest admitted request: releases its KV back to the
-    /// pool and returns its job to the head of the admission queue for
-    /// resume. Returns whether the victim was decoding (so callers can
-    /// adjust their decoder count). The caller guarantees `active` is
-    /// non-empty and never preempts down to zero, preserving forward
-    /// progress for the oldest.
+    /// Pauses the youngest admitted request: releases its private KV back
+    /// to the pool (its cached prefix blocks merely lose a reference and
+    /// stay resident — resuming will likely re-match them, making the
+    /// recompute cheap) and returns its job to the head of the admission
+    /// queue for resume. Returns whether the victim was decoding (so
+    /// callers can adjust their decoder count). The caller guarantees
+    /// `active` is non-empty and never preempts down to zero, preserving
+    /// forward progress for the oldest.
     fn preempt_youngest(&mut self) -> bool {
         let victim = self.active.pop().expect("caller checks non-empty");
         let was_decoding = victim.is_decoding();
         self.kv_in_use -= victim.kv_held;
+        if let Some(cache) = &mut self.cache {
+            cache.release(victim.cache_node);
+        }
         self.preemptions += 1;
         self.waiting.push_front(victim.job);
         was_decoding
+    }
+
+    /// Charges `tokens` of fresh KV growth to the ledger, evicting cold
+    /// cached prefix blocks when the free budget does not cover it. The
+    /// scheduler only grants growth that budget-plus-evictable headroom
+    /// can absorb, so eviction always reclaims enough.
+    fn charge_kv(&mut self, tokens: usize) {
+        let over = (self.kv_in_use + tokens).saturating_sub(self.kv_budget_tokens);
+        if over > 0 {
+            let freed = self.cache.as_mut().map_or(0, |c| c.evict(over));
+            debug_assert!(freed >= over, "scheduler granted KV growth beyond headroom");
+            self.kv_in_use -= freed;
+        }
+        self.kv_in_use += tokens;
+    }
+
+    /// Publishes `active[idx]`'s resident context into the prefix cache,
+    /// block-aligned: newly created blocks transfer ownership of their
+    /// tokens from the request's private KV to the shared pool (no ledger
+    /// change), while blocks a concurrent request already published are
+    /// deduplicated — the private copies are returned to the ledger.
+    fn cache_publish(&mut self, idx: usize) {
+        let Some(cache) = self.cache.as_mut() else {
+            return;
+        };
+        let a = &mut self.active[idx];
+        let Some(group) = a.job.request.prefix_group else {
+            return;
+        };
+        let context = a.job.request.input_tokens + a.job.generated;
+        let aligned = (context / PREFIX_BLOCK_TOKENS) * PREFIX_BLOCK_TOKENS;
+        if aligned <= a.cached_tokens {
+            return;
+        }
+        let (node, fresh) = cache.extend(group, a.cache_node, a.cached_tokens, context);
+        let moved = aligned - a.cached_tokens;
+        a.kv_held -= moved;
+        a.cached_tokens = aligned;
+        a.cache_node = node;
+        self.kv_in_use -= moved - fresh;
     }
 
     fn decode_time(&mut self, batch: usize, context: usize) -> Result<Seconds, SimError> {
@@ -726,6 +879,107 @@ mod tests {
         let eng = engine(&arch, &model, SimConfig::new(1.0, 8));
         assert!(eng.report().is_none());
         assert!(eng.is_drained());
+    }
+
+    #[test]
+    fn prefix_cache_reuses_session_context() {
+        // Turn 1: 1024-token prompt, 64-token response (context 1088 = 17
+        // exact blocks). Turn 2 prompts with that full context plus 64 new
+        // tokens, long after turn 1 completed.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let run = |caching: bool| {
+            let cfg = SimConfig::new(1.0, 8).with_prefix_caching(caching);
+            let mut eng = engine(&arch, &model, cfg);
+            eng.submit(Request::new(0, Seconds::ZERO, 1024, 64).with_prefix_group(42))
+                .unwrap();
+            eng.submit(Request::new(1, Seconds::new(100.0), 1152, 64).with_prefix_group(42))
+                .unwrap();
+            while eng.step().unwrap() != StepEvent::Idle {}
+            (eng.counters(), eng.outcomes().to_vec(), eng.kv_in_use())
+        };
+        let (cold, cold_outcomes, cold_kv) = run(false);
+        let (warm, warm_outcomes, warm_kv) = run(true);
+
+        // Cache off: every prompt token is prefilled; no cache residue.
+        assert_eq!(cold.prefilled_tokens, 1024 + 1152);
+        assert_eq!(cold.prefix_hit_tokens, 0);
+        assert_eq!(cold_kv, 0, "no cache => nothing resident after drain");
+
+        // Cache on: turn 2 skips the 17 published context blocks and
+        // prefills only its 64 fresh tokens.
+        assert_eq!(warm.prefilled_tokens, 1024 + 64);
+        assert_eq!(warm.prefix_hit_tokens, 1088);
+        // Turn 1's shareable span (960 tokens: input − 1 rounded down to
+        // blocks) was a cold miss; turn 2 missed nothing.
+        assert_eq!(warm.prefix_miss_tokens, 960);
+        assert!(
+            warm_outcomes[1].ttft < cold_outcomes[1].ttft,
+            "warm turn-2 TTFT {} must beat cold {}",
+            warm_outcomes[1].ttft,
+            cold_outcomes[1].ttft
+        );
+        // After drain only retained cache blocks remain: turn 2's full
+        // context, block-aligned ((1152 + 64) / 64 = 19 blocks).
+        assert_eq!(warm_kv, 19 * PREFIX_BLOCK_TOKENS);
+    }
+
+    #[test]
+    fn prefix_cache_shares_blocks_across_concurrent_requests() {
+        // Two identical-group prompts in flight together: the second
+        // matches whatever the first published, and shared blocks are
+        // charged once — peak KV stays below two full private contexts.
+        // A 2048-token chunk staggers the admissions, so the first prompt
+        // publishes its blocks one iteration before the second is sized.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8)
+            .with_prefix_caching(true)
+            .with_prefill_chunk(2048);
+        let mut eng = engine(&arch, &model, cfg);
+        for id in 0..2 {
+            eng.submit(Request::new(id, Seconds::ZERO, 2048, 32).with_prefix_group(7))
+                .unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert_eq!(eng.completed(), 2);
+        let counters = eng.counters();
+        assert!(
+            counters.prefix_hit_tokens > 0,
+            "the later admission must reuse the earlier prompt's blocks"
+        );
+        assert!(
+            counters.peak_kv_tokens < 2 * (2048 + 32),
+            "shared blocks must not be double-charged (peak {})",
+            counters.peak_kv_tokens
+        );
+    }
+
+    #[test]
+    fn prefix_caching_is_deterministic_and_leaves_uncached_requests_alone() {
+        // Untagged requests bypass the cache entirely: a cache-enabled
+        // engine produces the exact same outcomes as a cache-free one.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let requests =
+            crate::RequestGenerator::new(6.0, TraceProfile::ultrachat_like(), 3).take(30);
+        let run = |caching: bool| {
+            let cfg = SimConfig::new(6.0, 16).with_prefix_caching(caching);
+            let mut eng = engine(&arch, &model, cfg);
+            for r in requests.clone() {
+                eng.submit(r).unwrap();
+            }
+            while eng.step().unwrap() != StepEvent::Idle {}
+            (eng.outcomes().to_vec(), eng.report().unwrap())
+        };
+        let (outcomes_off, report_off) = run(false);
+        let (outcomes_on, report_on) = run(true);
+        assert_eq!(outcomes_off, outcomes_on);
+        assert_eq!(report_off, report_on);
+        assert_eq!(
+            report_on.prefix_hit_tokens + report_on.prefix_miss_tokens,
+            0
+        );
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //! - **Preemption** — under KV pressure the youngest request is paused,
 //!   its KV released, and its context recomputed on resume; the
 //!   [`QosReport`] counts these events alongside queue-depth stats.
+//! - **Prefix caching** (opt-in via [`SimConfig::prefix_caching`]) —
+//!   requests tagged with a [`Request::prefix_group`] share KV blocks
+//!   with earlier requests of the same group ([`PrefixCache`]): admission
+//!   skips the prefill of blocks already resident, shared blocks are
+//!   charged against the KV budget once, and cold blocks are LRU-evicted
+//!   before the scheduler resorts to preemption. This is the vLLM /
+//!   RadixAttention mechanism that makes multi-turn sessions cheap.
 //!
 //! [`SchedulerPolicy`] selects how prefill and decode share iterations:
 //! fused (every iteration may carry a chunk) or decode-prioritized (at most
@@ -54,6 +61,7 @@
 mod capacity;
 mod engine;
 mod generator;
+mod prefix;
 mod qos;
 mod request;
 mod sim;
@@ -64,6 +72,7 @@ mod trace;
 pub use capacity::{bisect_rate, max_capacity, CapacityResult};
 pub use engine::{Engine, StepEvent};
 pub use generator::RequestGenerator;
+pub use prefix::{splitmix64, PrefixCache, PrefixCacheStats, PREFIX_BLOCK_TOKENS};
 pub use qos::{EngineCounters, LatencyStats, QosReport};
 pub use request::{Request, RequestOutcome};
 pub use sim::{SchedulerPolicy, ServingSim, SimConfig, SimError};

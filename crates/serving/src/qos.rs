@@ -108,6 +108,16 @@ pub struct EngineCounters {
     pub peak_queue_depth: usize,
     /// Peak KV tokens resident across the run.
     pub peak_kv_tokens: usize,
+    /// Prompt tokens actually prefilled (recomputes after preemption
+    /// included, prefix-cache hits excluded). Without prefix caching this
+    /// is the total prompt-token demand admitted so far.
+    pub prefilled_tokens: usize,
+    /// Prompt tokens whose prefill was skipped by a prefix-cache hit.
+    pub prefix_hit_tokens: usize,
+    /// Shareable (full-block) prompt tokens that missed the prefix cache.
+    pub prefix_miss_tokens: usize,
+    /// Tokens of cached prefix blocks evicted under KV pressure.
+    pub prefix_evicted_tokens: usize,
 }
 
 /// The full QoS report of one serving simulation.
@@ -139,6 +149,14 @@ pub struct QosReport {
     pub peak_queue_depth: usize,
     /// Peak KV tokens resident at any step (≤ the simulator's budget).
     pub peak_kv_tokens: usize,
+    /// Prompt tokens actually prefilled (prefix-cache hits excluded).
+    pub prefilled_tokens: usize,
+    /// Prompt tokens whose prefill a prefix-cache hit skipped.
+    pub prefix_hit_tokens: usize,
+    /// Shareable prompt tokens that missed the prefix cache.
+    pub prefix_miss_tokens: usize,
+    /// Cached prefix tokens evicted under KV pressure.
+    pub prefix_evicted_tokens: usize,
 }
 
 impl QosReport {
@@ -172,6 +190,22 @@ impl QosReport {
             mean_queue_depth: counters.mean_queue_depth,
             peak_queue_depth: counters.peak_queue_depth,
             peak_kv_tokens: counters.peak_kv_tokens,
+            prefilled_tokens: counters.prefilled_tokens,
+            prefix_hit_tokens: counters.prefix_hit_tokens,
+            prefix_miss_tokens: counters.prefix_miss_tokens,
+            prefix_evicted_tokens: counters.prefix_evicted_tokens,
+        }
+    }
+
+    /// Prefix-cache block hit rate over the shareable prompt tokens seen:
+    /// `hit / (hit + miss)`, or 0 when caching was off or nothing was
+    /// shareable.
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let seen = self.prefix_hit_tokens + self.prefix_miss_tokens;
+        if seen == 0 {
+            0.0
+        } else {
+            self.prefix_hit_tokens as f64 / seen as f64
         }
     }
 
@@ -240,6 +274,10 @@ impl QosReport {
                 .max()
                 .unwrap_or(0),
             peak_kv_tokens: reports.iter().map(|r| r.peak_kv_tokens).max().unwrap_or(0),
+            prefilled_tokens: reports.iter().map(|r| r.prefilled_tokens).sum(),
+            prefix_hit_tokens: reports.iter().map(|r| r.prefix_hit_tokens).sum(),
+            prefix_miss_tokens: reports.iter().map(|r| r.prefix_miss_tokens).sum(),
+            prefix_evicted_tokens: reports.iter().map(|r| r.prefix_evicted_tokens).sum(),
         }
     }
 }
@@ -316,6 +354,7 @@ mod tests {
             mean_queue_depth: 1.5,
             peak_queue_depth: 4,
             peak_kv_tokens: 9000,
+            ..Default::default()
         };
         let report = QosReport::from_outcomes(&outcomes, Seconds::new(5.0), counters);
         assert_eq!(report.completed, 10);
@@ -381,6 +420,10 @@ mod tests {
                     mean_queue_depth: batch / 2.0,
                     peak_queue_depth: n / 2,
                     peak_kv_tokens: 100 * n,
+                    prefilled_tokens: 50 * n,
+                    prefix_hit_tokens: 10 * n,
+                    prefix_miss_tokens: 30 * n,
+                    prefix_evicted_tokens: n,
                 },
             )
         };
@@ -392,6 +435,12 @@ mod tests {
         assert_eq!(fleet.preemptions, 2);
         assert_eq!(fleet.peak_batch, 30);
         assert_eq!(fleet.peak_kv_tokens, 3000);
+        // Prefix/prefill token counters sum across replicas.
+        assert_eq!(fleet.prefilled_tokens, 50 * 40);
+        assert_eq!(fleet.prefix_hit_tokens, 10 * 40);
+        assert_eq!(fleet.prefix_miss_tokens, 30 * 40);
+        assert_eq!(fleet.prefix_evicted_tokens, 40);
+        assert!((fleet.prefix_hit_rate() - 0.25).abs() < 1e-12);
         // 40 requests over the 10 s fleet makespan.
         assert!((fleet.requests_per_sec - 4.0).abs() < 1e-9);
         // Tokens: 10·10 over 5 s plus 30·10 over 10 s, replayed over 10 s.

@@ -14,10 +14,18 @@ pub struct Request {
     pub input_tokens: usize,
     /// Response length in tokens.
     pub output_tokens: usize,
+    /// Content identity for prefix caching. Requests sharing a group share
+    /// one deterministic token-block hash chain, so their prompts have a
+    /// common prefix of `min(input_tokens, other.input_tokens)` tokens —
+    /// exactly the shape of a multi-turn session, where each turn's prompt
+    /// extends the previous turn's full context. `None` (the default)
+    /// means unique content: the prompt shares KV with nothing and
+    /// bypasses the prefix cache.
+    pub prefix_group: Option<u64>,
 }
 
 impl Request {
-    /// Creates a request.
+    /// Creates a request with unique (unshared) prompt content.
     ///
     /// # Panics
     ///
@@ -32,7 +40,16 @@ impl Request {
             arrival,
             input_tokens,
             output_tokens,
+            prefix_group: None,
         }
+    }
+
+    /// Tags the request's prompt content as belonging to `group` (a
+    /// session id, say), making its prefix shareable with other requests
+    /// of the same group under a prefix-caching engine.
+    pub fn with_prefix_group(mut self, group: u64) -> Self {
+        self.prefix_group = Some(group);
+        self
     }
 
     /// Total KV-cache tokens this request will eventually hold.

@@ -20,7 +20,12 @@
 //!   the youngest request is paused and its KV released; it re-enters the
 //!   queue head and recomputes its context (prompt plus already-generated
 //!   tokens) on resume. The oldest request is never preempted, so the
-//!   engine always makes forward progress.
+//!   engine always makes forward progress. With prefix caching on, cold
+//!   cached blocks are LRU-evicted before any request is preempted.
+//! - **Prefix caching** (opt-in, [`SimConfig::prefix_caching`]): prompts
+//!   tagged with a [`Request::prefix_group`](crate::Request::prefix_group)
+//!   skip the prefill of token blocks already resident in the
+//!   [`PrefixCache`](crate::PrefixCache); shared blocks are charged once.
 //!
 //! Chunk cost is modeled as a fresh prefill pass of the chunk length; the
 //! attention cost over earlier chunks' KV is folded into the analytical
@@ -68,12 +73,19 @@ pub struct SimConfig {
     pub kv_memory_fraction: f64,
     /// Prefill/decode interleaving policy.
     pub policy: SchedulerPolicy,
+    /// Prefix-aware KV reuse: when `true`, requests tagged with a
+    /// [`Request::prefix_group`](crate::Request::prefix_group) skip the
+    /// prefill of prompt blocks already resident in the engine's
+    /// [`PrefixCache`](crate::PrefixCache), shared blocks are charged
+    /// against the KV budget once, and cold blocks are LRU-evicted before
+    /// the scheduler resorts to preemption.
+    pub prefix_caching: bool,
 }
 
 impl SimConfig {
     /// Creates a config with `arrival_rate` req/s and `max_batch` engine
     /// slots; 200 requests, seed 0, 4096-token prefill chunks, 90 % KV
-    /// memory fraction, fused scheduling.
+    /// memory fraction, fused scheduling, prefix caching off.
     pub fn new(arrival_rate: f64, max_batch: usize) -> Self {
         Self {
             arrival_rate,
@@ -83,6 +95,7 @@ impl SimConfig {
             prefill_chunk: 4096,
             kv_memory_fraction: 0.9,
             policy: SchedulerPolicy::Fused,
+            prefix_caching: false,
         }
     }
 
@@ -119,6 +132,12 @@ impl SimConfig {
     /// Sets the prefill/decode interleaving policy.
     pub fn with_policy(mut self, policy: SchedulerPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Enables or disables prefix-aware KV cache reuse.
+    pub fn with_prefix_caching(mut self, enabled: bool) -> Self {
+        self.prefix_caching = enabled;
         self
     }
 }

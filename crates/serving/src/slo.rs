@@ -98,6 +98,10 @@ mod tests {
             mean_queue_depth: 0.0,
             peak_queue_depth: 0,
             peak_kv_tokens: 0,
+            prefilled_tokens: 0,
+            prefix_hit_tokens: 0,
+            prefix_miss_tokens: 0,
+            prefix_evicted_tokens: 0,
         }
     }
 
