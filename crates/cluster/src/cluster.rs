@@ -66,6 +66,18 @@ impl ClusterConfig {
         self.engine.prefix_caching = enabled;
         self
     }
+
+    /// Configures speculative decoding on every replica engine (shorthand
+    /// for setting
+    /// [`SimConfig::speculation`](ador_serving::SimConfig::speculation)
+    /// on the embedded engine config). Per-request acceptance profiles
+    /// come from each [`TenantClass::accept_rate`]; the `SloAdaptive`
+    /// policy reads each request's class SLO, both stamped onto requests
+    /// by [`TenantMix::generate`](crate::TenantMix::generate).
+    pub fn with_speculation(mut self, speculation: ador_spec::SpeculationConfig) -> Self {
+        self.engine.speculation = speculation;
+        self
+    }
 }
 
 /// A fleet of engine replicas behind a [`Router`].

@@ -27,7 +27,11 @@
 //!   deterministic request stream. Classes with a [`SessionShape`]
 //!   emit multi-turn conversations whose prompts grow by the previous
 //!   context — the prefix-caching workload
-//!   ([`ClusterConfig::with_prefix_caching`]).
+//!   ([`ClusterConfig::with_prefix_caching`]). Every generated request
+//!   carries its class's [`Slo`](ador_serving::Slo) and draft-acceptance
+//!   profile ([`TenantClass::accept_rate`]), the per-tenant inputs of
+//!   SLO-customized speculative decoding
+//!   ([`ClusterConfig::with_speculation`]).
 //! - **[`FleetReport`]** — fleet-wide QoS: the merged engine report
 //!   (via [`QosReport::merge`](ador_serving::QosReport::merge)),
 //!   per-tenant SLO attainment (shed requests count as misses),

@@ -4,9 +4,11 @@
 //! published numbers and the test that pins their ordering cannot drift
 //! apart.
 
-use ador_serving::SimConfig;
+use ador_serving::{SimConfig, Slo, TraceProfile};
+use ador_spec::{SpeculationConfig, SpeculationPolicy};
+use ador_units::Seconds;
 
-use crate::{ClusterConfig, RouterPolicy, TenantClass, TenantMix};
+use crate::{ArrivalProcess, ClusterConfig, RouterPolicy, TenantClass, TenantMix};
 
 /// Aggregate arrival rate (req/s) of the pinned skewed-mix scenario.
 pub const SKEWED_MIX_RATE: f64 = 7.0;
@@ -69,4 +71,105 @@ pub fn session_fleet(replicas: usize, policy: RouterPolicy) -> ClusterConfig {
     ClusterConfig::new(replicas, policy)
         .with_engine(SimConfig::new(1.0, 32).with_kv_memory_fraction(0.25))
         .with_prefix_caching(true)
+}
+
+/// Aggregate request rate (req/s) of the pinned speculative-decoding
+/// fleet scenario: past the fleet's no-speculation knee, so the chatbot
+/// class cannot hold its tight TBT contract without multi-token commits,
+/// while naive fixed-depth drafting inflates every verify pass enough to
+/// hurt — the operating point where SLO-customized depth separates from
+/// both extremes.
+pub const SPEC_RATE: f64 = 92.0;
+
+/// Request count of the pinned speculative-decoding scenario.
+pub const SPEC_REQUESTS: usize = 600;
+
+/// Workload seed of the pinned speculative-decoding scenario.
+pub const SPEC_SEED: u64 = 17;
+
+/// Replica count of the pinned speculative-decoding fleet.
+pub const SPEC_REPLICAS: usize = 2;
+
+/// Draft-model cost ratio of the pinned speculative-decoding scenario:
+/// each drafted token costs 15 % of a target token's step share — a
+/// 7-to-8-B target with a ~1-B batched drafter.
+pub const SPEC_DRAFT_RATIO: f64 = 0.15;
+
+/// The pinned mixed-tenant speculation workload: a latency tenant
+/// ("chatbot": short prompts, ~320-token responses, a tight 18 ms TBT /
+/// 2 s TTFT contract, 0.85 draft acceptance — conversational text drafts
+/// well) multiplexed with a throughput tenant ("analytics": batch
+/// generation with ~512-token responses, TTFT-only 8 s contract, 0.55
+/// acceptance — free-form generation drafts poorly). Short prompts and
+/// long responses keep the decode batch large, which is exactly where
+/// indiscriminate drafting stops being free: every drafted token rides a
+/// compute-bound verify pass that all co-batched tenants pay for.
+pub fn spec_mix(aggregate: f64) -> TenantMix {
+    let chatbot_profile = TraceProfile {
+        input_mu: 96.0_f64.ln(),
+        input_sigma: 0.5,
+        output_mu: 320.0_f64.ln(),
+        output_sigma: 0.4,
+        max_tokens: 2048,
+    };
+    let analytics_profile = TraceProfile {
+        input_mu: 160.0_f64.ln(),
+        input_sigma: 0.5,
+        output_mu: 512.0_f64.ln(),
+        output_sigma: 0.45,
+        max_tokens: 4096,
+    };
+    let chatbot = TenantClass::new(
+        "chatbot",
+        chatbot_profile,
+        Slo {
+            ttft_max: Some(Seconds::from_millis(2000.0)),
+            tbt_max: Some(Seconds::from_millis(18.0)),
+        },
+        ArrivalProcess::Poisson {
+            rate: aggregate * 0.6,
+        },
+    )
+    .with_acceptance(0.85);
+    let analytics = TenantClass::new(
+        "analytics",
+        analytics_profile,
+        Slo {
+            ttft_max: Some(Seconds::from_millis(8000.0)),
+            tbt_max: None,
+        },
+        ArrivalProcess::Poisson {
+            rate: aggregate * 0.4,
+        },
+    )
+    .with_acceptance(0.55);
+    TenantMix::new(vec![chatbot, analytics])
+}
+
+/// The pinned speculative-decoding fleet: 256-slot replicas behind
+/// join-shortest-queue, running the given speculation `policy` with the
+/// pinned draft-cost ratio ([`SPEC_DRAFT_RATIO`]). Shared by the
+/// `exp_specdec` bench, the `spec_serving` example and the pinned tests
+/// in `tests/spec_decoding.rs`.
+pub fn spec_fleet(replicas: usize, policy: SpeculationPolicy) -> ClusterConfig {
+    ClusterConfig::new(replicas, RouterPolicy::JoinShortestQueue)
+        .with_engine(SimConfig::new(1.0, 256))
+        .with_speculation(SpeculationConfig::new(policy).with_draft_time_ratio(SPEC_DRAFT_RATIO))
+}
+
+/// The pinned *single-engine* speculation config: the `exp_specdec`
+/// fixed-depth sweep (one 32-slot engine on ultrachat-like chatbot
+/// traffic at 8 req/s, acceptance swept explicitly). At this moderate
+/// batch the decode pass is weight-bound, so verification is cheap and
+/// any positive depth with decent acceptance buys mean TBT — the pin for
+/// "Fixed(k > 0) beats Off at acceptance ≥ 0.7".
+pub fn spec_engine_config(policy: SpeculationPolicy, acceptance: f64) -> SimConfig {
+    SimConfig::new(8.0, 32)
+        .with_requests(300)
+        .with_seed(7)
+        .with_speculation(
+            SpeculationConfig::new(policy)
+                .with_draft_time_ratio(SPEC_DRAFT_RATIO)
+                .with_default_acceptance(acceptance),
+        )
 }

@@ -222,6 +222,12 @@ pub struct TenantClass {
     /// When set, arrivals are session *starts* and the emitted request
     /// rate is roughly `mean_turns` times the arrival rate.
     pub session: Option<SessionShape>,
+    /// The class's speculative-decoding acceptance profile: the per-token
+    /// probability a draft model's proposal survives verification on this
+    /// traffic (AdaServe's per-class speculation signal — templated code
+    /// completions draft far better than free-form prose). Stamped onto
+    /// every generated request; only read by engines that speculate.
+    pub accept_rate: f64,
 }
 
 impl TenantClass {
@@ -243,7 +249,22 @@ impl TenantClass {
             slo,
             arrivals,
             session: None,
+            accept_rate: ador_spec::DEFAULT_ACCEPTANCE,
         }
+    }
+
+    /// Sets the class's draft acceptance profile for speculative decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    pub fn with_acceptance(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "acceptance must be a probability, got {rate}"
+        );
+        self.accept_rate = rate;
+        self
     }
 
     /// Turns the class into a session workload: each arrival starts a
@@ -269,7 +290,8 @@ impl TenantClass {
     }
 
     /// Interactive chatbot traffic: ultrachat-like lengths, the paper's
-    /// strict SLO (25 ms TBT), steady Poisson arrivals.
+    /// strict SLO (25 ms TBT), steady Poisson arrivals, and a 0.8 draft
+    /// acceptance profile (conversational prose drafts well).
     pub fn chatbot(rate: f64) -> Self {
         Self::new(
             "chatbot",
@@ -277,6 +299,7 @@ impl TenantClass {
             Slo::strict(),
             ArrivalProcess::Poisson { rate },
         )
+        .with_acceptance(0.8)
     }
 
     /// Long-document summarization: heavy prompts, the paper's relaxed SLO
@@ -297,6 +320,9 @@ impl TenantClass {
                 mean_off,
             },
         )
+        // Dense novel prose: a draft model mispredicts often, so fixed
+        // fleet-wide speculation burns verify compute on this class.
+        .with_acceptance(0.6)
     }
 
     /// Code completion: mid-size prompts, very short responses, and the
@@ -320,6 +346,8 @@ impl TenantClass {
             slo,
             ArrivalProcess::Poisson { rate },
         )
+        // Boilerplate-heavy code drafts extremely well (AdaServe).
+        .with_acceptance(0.9)
     }
 }
 
@@ -435,15 +463,22 @@ impl TenantMix {
             .into_iter()
             .take(count)
             .enumerate()
-            .map(
-                |(id, (arrival, tenant, input, output, group))| ClusterRequest {
+            .map(|(id, (arrival, tenant, input, output, group))| {
+                // Every request carries its class's contract and draft
+                // acceptance profile: the SLO feeds goodput accounting
+                // and SLO-adaptive speculation depth, the acceptance rate
+                // the seeded verify draws.
+                let class = &self.classes[tenant];
+                ClusterRequest {
                     request: Request {
                         prefix_group: group,
                         ..Request::new(id as u64, arrival, input, output)
-                    },
+                    }
+                    .with_slo(class.slo)
+                    .with_accept_rate(class.accept_rate),
                     tenant,
-                },
-            )
+                }
+            })
             .collect()
     }
 }
@@ -540,6 +575,28 @@ mod tests {
         assert!(a.iter().any(|r| r.tenant == 1));
         let c = mix.generate(200, 43);
         assert_ne!(a, c, "the seed must reach every class's stream");
+    }
+
+    #[test]
+    fn generated_requests_carry_class_slo_and_acceptance() {
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(4.0),
+            TenantClass::summarization(1.0),
+            TenantClass::code_completion(2.0).with_acceptance(0.95),
+        ]);
+        assert_eq!(mix.classes()[0].accept_rate, 0.8);
+        assert_eq!(mix.classes()[1].accept_rate, 0.6);
+        for cr in mix.generate(150, 5) {
+            let class = &mix.classes()[cr.tenant];
+            assert_eq!(cr.request.slo, Some(class.slo));
+            assert_eq!(cr.request.accept_rate, Some(class.accept_rate));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn non_probability_acceptance_rejected() {
+        let _ = TenantClass::chatbot(1.0).with_acceptance(-0.1);
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! * [`parallel`] — tensor/pipeline parallelism planning and scaling;
 //! * [`perf`] — the operator-level performance model and compiler stack;
 //! * [`serving`] — the discrete-event serving simulator and QoS metrics;
+//! * [`spec`] — speculative decoding: draft/verify cost accounting and
+//!   SLO-customized speculation depth;
 //! * [`cluster`] — multi-replica fleets: routing policies, multi-tenant
 //!   traffic and fleet-wide QoS;
 //! * [`search`] — the design-space search;
@@ -55,6 +57,7 @@ pub use ador_parallel as parallel;
 pub use ador_perf as perf;
 pub use ador_search as search;
 pub use ador_serving as serving;
+pub use ador_spec as spec;
 pub use ador_units as units;
 
 /// Everything a typical user needs in scope.

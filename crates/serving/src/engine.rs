@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
 use ador_perf::Evaluator;
+use ador_spec::{DraftStream, SpeculationPolicy, Verify};
 use ador_units::Seconds;
 
 use crate::prefix::{PrefixCache, PrefixCacheStats, PREFIX_BLOCK_TOKENS};
@@ -38,10 +39,15 @@ struct Job {
     tbt_sum: Seconds,
     tbt_max: Seconds,
     tbt_count: usize,
+    /// The request's seeded speculative-decoding acceptance stream.
+    /// Survives preemption with the job, so a resumed request continues
+    /// its draw sequence instead of replaying it.
+    draft: DraftStream,
 }
 
 impl Job {
-    fn new(request: Request) -> Self {
+    fn new(request: Request, spec_seed: u64) -> Self {
+        let draft = DraftStream::new(spec_seed, request.id);
         Self {
             request,
             generated: 0,
@@ -50,7 +56,15 @@ impl Job {
             tbt_sum: Seconds::ZERO,
             tbt_max: Seconds::ZERO,
             tbt_count: 0,
+            draft,
         }
+    }
+
+    /// Mean inter-token gap observed so far, or `None` until the job has
+    /// emitted a second token — the slack signal `SloAdaptive`
+    /// speculation budgets depth against.
+    fn mean_tbt_so_far(&self) -> Option<Seconds> {
+        (self.tbt_count > 0).then(|| self.tbt_sum / self.tbt_count as f64)
     }
 
     /// Tokens a (re)admission must prefill before decoding: the prompt plus
@@ -197,6 +211,10 @@ pub struct Engine<'a> {
     peak_kv: usize,
     preemptions: usize,
     prefilled_tokens: usize,
+    generated_tokens: usize,
+    drafted_tokens: usize,
+    accepted_tokens: usize,
+    rejected_tokens: usize,
     prev_step_prefilled: bool,
 }
 
@@ -228,6 +246,10 @@ impl<'a> Engine<'a> {
             peak_kv: 0,
             preemptions: 0,
             prefilled_tokens: 0,
+            generated_tokens: 0,
+            drafted_tokens: 0,
+            accepted_tokens: 0,
+            rejected_tokens: 0,
             prev_step_prefilled: false,
         }
     }
@@ -372,6 +394,10 @@ impl<'a> Engine<'a> {
             prefix_hit_tokens: cache.hit_tokens,
             prefix_miss_tokens: cache.miss_tokens,
             prefix_evicted_tokens: cache.evicted_tokens,
+            generated_tokens: self.generated_tokens,
+            drafted_tokens: self.drafted_tokens,
+            accepted_tokens: self.accepted_tokens,
+            rejected_tokens: self.rejected_tokens,
         }
     }
 
@@ -431,8 +457,9 @@ impl<'a> Engine<'a> {
             // Move arrivals into the admission queue (preempted jobs were
             // pushed to the front and resume first).
             while self.pending.front().is_some_and(|r| r.arrival <= self.now) {
+                let request = self.pending.pop_front().expect("peeked");
                 self.waiting
-                    .push_back(Job::new(self.pending.pop_front().expect("peeked")));
+                    .push_back(Job::new(request, self.cfg.speculation.seed));
             }
             if self.active.is_empty() && self.waiting.is_empty() {
                 match self.pending.front() {
@@ -444,13 +471,85 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            // KV pressure: one decode step grows every decoding context by
-            // a token. Evict cold cached prefix blocks first; only then
-            // preempt youngest-first — never the oldest, so the engine
-            // always drains — until the growth fits the budget.
+            // Speculation plan: assign each decoding request a draft
+            // depth, run its seeded verify draw, and commit
+            // `accepted + 1` tokens this step — exactly 1 with
+            // speculation off. Planned before the KV-pressure check
+            // because multi-token commits are this step's KV growth.
             let mut decoders = self.active.iter().filter(|a| a.is_decoding()).count();
+            let spec = self.cfg.speculation;
+            let mut depths = vec![0usize; self.active.len()];
+            match spec.policy {
+                _ if !spec.speculates() => {}
+                SpeculationPolicy::Off => {}
+                SpeculationPolicy::Fixed(k) => {
+                    // Naive fleet-wide speculation: every decoder drafts k
+                    // tokens, whatever its SLO slack or the batch load.
+                    let k = k.min(spec.max_depth);
+                    for (i, a) in self.active.iter().enumerate() {
+                        if a.is_decoding() {
+                            depths[i] = k;
+                        }
+                    }
+                }
+                SpeculationPolicy::SloAdaptive => {
+                    // SLO-customized speculation: latency-contracted
+                    // decoders bid with their TBT urgency, and the
+                    // per-step verify-token budget is spent
+                    // most-urgent-first (ties toward the older request),
+                    // so throughput tenants never pay latency tenants'
+                    // verify overhead.
+                    let mut bids: Vec<(usize, f64, usize)> = self
+                        .active
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| a.is_decoding())
+                        .filter_map(|(i, a)| {
+                            let urgency = spec.urgency(
+                                a.job.request.slo.and_then(|s| s.tbt_max),
+                                a.job.mean_tbt_so_far(),
+                            )?;
+                            let room = a.job.request.output_tokens - a.job.generated - 1;
+                            Some((i, urgency, room))
+                        })
+                        .collect();
+                    bids.sort_by(|a, b| {
+                        b.1.partial_cmp(&a.1)
+                            .expect("urgency is never NaN")
+                            .then(a.0.cmp(&b.0))
+                    });
+                    let mut budget = spec.budget_tokens(self.cfg.max_batch);
+                    for (i, urgency, room) in bids {
+                        if budget == 0 {
+                            break;
+                        }
+                        let depth = spec.slack_depth(urgency).min(budget).min(room);
+                        depths[i] = depth;
+                        budget -= depth;
+                    }
+                }
+            }
+            let mut plan: Vec<Option<Verify>> = Vec::with_capacity(self.active.len());
+            let mut growth = 0usize;
+            for (i, a) in self.active.iter_mut().enumerate() {
+                if !a.is_decoding() {
+                    plan.push(None);
+                    continue;
+                }
+                let job = &mut a.job;
+                let remaining = job.request.output_tokens - job.generated;
+                let rate = job.request.accept_rate.unwrap_or(spec.default_acceptance);
+                let verify = job.draft.verify(depths[i], remaining, rate);
+                growth += verify.committed;
+                plan.push(Some(verify));
+            }
+
+            // KV pressure: this step grows every decoding context by its
+            // committed run. Evict cold cached prefix blocks first; only
+            // then preempt youngest-first — never the oldest, so the
+            // engine always drains — until the growth fits the budget.
             loop {
-                let over = (self.kv_in_use + decoders).saturating_sub(self.kv_budget_tokens);
+                let over = (self.kv_in_use + growth).saturating_sub(self.kv_budget_tokens);
                 if over == 0 {
                     break;
                 }
@@ -464,8 +563,12 @@ impl<'a> Engine<'a> {
                 if self.active.len() <= 1 {
                     break;
                 }
-                if self.preempt_youngest() {
+                let was_decoding = self.preempt_youngest();
+                let victim = plan.pop().expect("plan is aligned with active");
+                debug_assert_eq!(was_decoding, victim.is_some());
+                if let Some(v) = victim {
                     decoders -= 1;
+                    growth -= v.committed;
                 }
             }
 
@@ -487,7 +590,7 @@ impl<'a> Engine<'a> {
             // evictable share is collected lazily by `charge_kv`.
             let evictable = self.cache.as_ref().map_or(0, PrefixCache::evictable_tokens);
             let mut kv_headroom =
-                (self.kv_budget_tokens + evictable).saturating_sub(self.kv_in_use + decoders);
+                (self.kv_budget_tokens + evictable).saturating_sub(self.kv_in_use + growth);
             let mut chunks: Vec<(usize, usize)> = Vec::new();
             for (i, a) in self.active.iter().enumerate() {
                 if chunk_budget == 0 {
@@ -558,9 +661,20 @@ impl<'a> Engine<'a> {
                 continue;
             }
 
-            // Timing: one fused engine iteration.
+            // Timing: one fused engine iteration. The verify pass prices
+            // `decoders + drafted` token positions through the decode
+            // model with the per-sequence context scaled down so the
+            // resident KV total is unchanged (draft tokens attend to the
+            // *same* contexts, they do not bring their own). Token-level
+            // parallelism rides the same roofline as batch parallelism:
+            // verification is nearly free while the step is weight-bound
+            // and costs real compute once it is not. On top of that,
+            // drafting is priced per drafted token — `draft_time_ratio`
+            // of a target token's step share, i.e. mean depth × base —
+            // the batched-drafter amortization, not a per-step charge in
+            // the deepest request's depth.
             let prefill_tokens: usize = chunks.iter().map(|&(_, t)| t).sum();
-            let decoding_now: Vec<bool> = self.active.iter().map(Active::is_decoding).collect();
+            let drafted_total: usize = plan.iter().flatten().map(|v| v.drafted).sum();
             let mut step_time = Seconds::ZERO;
             if prefill_tokens > 0 {
                 let mean_chunk = (prefill_tokens / chunks.len()).max(1);
@@ -573,7 +687,17 @@ impl<'a> Engine<'a> {
                     .filter(|a| a.is_decoding())
                     .map(Active::context)
                     .sum();
-                step_time += self.decode_time(decoders, (ctx_sum / decoders).max(1))?;
+                let ctx = ctx_sum.checked_div(decoders).map_or(1, |c| c.max(1));
+                if drafted_total == 0 {
+                    step_time += self.decode_time(decoders, ctx)?;
+                } else {
+                    let verify_tokens = decoders + drafted_total;
+                    let ctx_eq = (ctx_sum / verify_tokens).max(1);
+                    step_time += self.decode_time(verify_tokens, ctx_eq)?;
+                    let base = self.decode_time(decoders, ctx)?;
+                    let mean_depth = drafted_total as f64 / decoders as f64;
+                    step_time += base * (spec.draft_time_ratio * mean_depth);
+                }
             }
             self.now += step_time;
             self.steps += 1;
@@ -598,23 +722,45 @@ impl<'a> Engine<'a> {
                 }
             }
 
-            // Token emission: every request that decoded this step, plus
-            // every request whose prefill pass just completed (its first —
-            // or, after preemption, next — token comes out of the fused
-            // step). This is also the decode-batch occupancy sample, taken
-            // after same-step admissions so fresh decoders are counted.
+            // Token emission: every request that decoded this step commits
+            // its verified run (exactly one token with speculation off),
+            // plus every request whose prefill pass just completed emits
+            // its first — or, after preemption, next — token out of the
+            // fused step. This is also the decode-batch occupancy sample,
+            // taken after same-step admissions so fresh decoders are
+            // counted. All tokens of one commit share the step-end
+            // timestamp: the verify pass reveals them at once, so the
+            // first carries the whole inter-step gap and the rest are
+            // free — exactly how speculation buys mean TBT.
             let mut batch_now = 0usize;
             let mut finished: Vec<usize> = Vec::new();
-            for i in 0..self.active.len() {
-                let emitted = decoding_now[i] || (received[i] > 0 && self.active[i].is_decoding());
-                if !emitted {
+            for (i, &got) in received.iter().enumerate() {
+                let verify = plan.get(i).copied().flatten();
+                let commit = match verify {
+                    Some(v) => v.committed,
+                    None => usize::from(got > 0 && self.active[i].is_decoding()),
+                };
+                if commit == 0 {
                     continue;
                 }
                 batch_now += 1;
-                self.charge_kv(1);
+                self.charge_kv(commit);
                 let a = &mut self.active[i];
-                a.kv_held += 1;
-                a.job.emit_token(self.now);
+                a.kv_held += commit;
+                for _ in 0..commit {
+                    a.job.emit_token(self.now);
+                }
+                debug_assert!(
+                    a.job.generated <= a.job.request.output_tokens,
+                    "request {} committed past its stop boundary",
+                    a.job.request.id
+                );
+                self.generated_tokens += commit;
+                if let Some(v) = verify {
+                    self.drafted_tokens += v.drafted;
+                    self.accepted_tokens += v.accepted;
+                    self.rejected_tokens += v.rejected();
+                }
                 if a.job.done() {
                     finished.push(i);
                 }

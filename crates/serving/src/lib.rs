@@ -29,6 +29,15 @@
 //!   charged against the KV budget once, and cold blocks are LRU-evicted
 //!   before the scheduler resorts to preemption. This is the vLLM /
 //!   RadixAttention mechanism that makes multi-turn sessions cheap.
+//! - **Speculative decoding** (opt-in via [`SimConfig::speculation`]) —
+//!   each decode step drafts up to `k` tokens per request, verifies them
+//!   in one parallel pass, and commits the accepted run plus the verify
+//!   pass's own token; KV grows by committed tokens only. The
+//!   [`ador_spec`] crate holds the policy ([`SpeculationPolicy`]:
+//!   off / fixed depth / SLO-adaptive per-request depth), the seeded
+//!   deterministic acceptance process, and the draft/verify cost knobs;
+//!   realized drafted/accepted/rejected token counts land in
+//!   [`EngineCounters`] and [`QosReport`].
 //!
 //! [`SchedulerPolicy`] selects how prefill and decode share iterations:
 //! fused (every iteration may carry a chunk) or decode-prioritized (at most
@@ -79,3 +88,8 @@ pub use sim::{SchedulerPolicy, ServingSim, SimConfig, SimError};
 pub use slo::Slo;
 pub use sweep::{saturation_knee, sweep_rates, SweepPoint};
 pub use trace::TraceProfile;
+
+// Speculative decoding lives in its own engine-independent crate
+// (`ador-spec`); re-export the configuration surface so `SimConfig`
+// users need not name a second crate.
+pub use ador_spec::{SpeculationConfig, SpeculationPolicy};

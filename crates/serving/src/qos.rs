@@ -118,6 +118,20 @@ pub struct EngineCounters {
     pub prefix_miss_tokens: usize,
     /// Tokens of cached prefix blocks evicted under KV pressure.
     pub prefix_evicted_tokens: usize,
+    /// Output tokens actually committed by decode/verify steps. Equals
+    /// the summed declared response lengths once every request completes
+    /// — the invariant the stop-boundary clamp protects under
+    /// speculation's multi-token commits.
+    pub generated_tokens: usize,
+    /// Draft-model tokens proposed across all verify steps (0 with
+    /// speculation off).
+    pub drafted_tokens: usize,
+    /// Drafted tokens the target model accepted
+    /// (`drafted == accepted + rejected` always holds).
+    pub accepted_tokens: usize,
+    /// Drafted tokens the target model rejected — work burnt without a
+    /// committed token.
+    pub rejected_tokens: usize,
 }
 
 /// The full QoS report of one serving simulation.
@@ -137,6 +151,12 @@ pub struct QosReport {
     pub requests_per_sec: f64,
     /// Generated-token throughput across all requests.
     pub tokens_per_sec: f64,
+    /// Goodput: generated tokens from SLO-met requests over the makespan.
+    /// A request with no attached [`Slo`](crate::Slo) counts as met (no
+    /// contract to break); one that missed its contract contributes
+    /// nothing — tokens a user had to walk away from are not good
+    /// throughput. The headline metric for SLO-customized speculation.
+    pub goodput_tokens_per_sec: f64,
     /// Mean decode batch occupancy observed across engine steps.
     pub mean_batch: f64,
     /// Peak decode batch occupancy.
@@ -157,6 +177,14 @@ pub struct QosReport {
     pub prefix_miss_tokens: usize,
     /// Cached prefix tokens evicted under KV pressure.
     pub prefix_evicted_tokens: usize,
+    /// Output tokens committed by decode/verify steps.
+    pub generated_tokens: usize,
+    /// Draft tokens proposed across all verify steps.
+    pub drafted_tokens: usize,
+    /// Drafted tokens the target model accepted.
+    pub accepted_tokens: usize,
+    /// Drafted tokens the target model rejected.
+    pub rejected_tokens: usize,
 }
 
 impl QosReport {
@@ -175,6 +203,11 @@ impl QosReport {
         let tbts: Vec<Seconds> = outcomes.iter().map(|o| o.mean_tbt).collect();
         let e2es: Vec<Seconds> = outcomes.iter().map(|o| o.e2e).collect();
         let tokens: usize = outcomes.iter().map(|o| o.request.output_tokens).sum();
+        let good_tokens: usize = outcomes
+            .iter()
+            .filter(|o| o.request.slo.is_none_or(|slo| slo.met(o)))
+            .map(|o| o.request.output_tokens)
+            .sum();
         let span = makespan.get().max(1e-12);
         Self {
             completed: outcomes.len(),
@@ -184,6 +217,7 @@ impl QosReport {
             e2e: LatencyStats::from_samples(&e2es),
             requests_per_sec: outcomes.len() as f64 / span,
             tokens_per_sec: tokens as f64 / span,
+            goodput_tokens_per_sec: good_tokens as f64 / span,
             mean_batch: counters.mean_batch,
             peak_batch: counters.peak_batch,
             preemptions: counters.preemptions,
@@ -194,6 +228,24 @@ impl QosReport {
             prefix_hit_tokens: counters.prefix_hit_tokens,
             prefix_miss_tokens: counters.prefix_miss_tokens,
             prefix_evicted_tokens: counters.prefix_evicted_tokens,
+            generated_tokens: counters.generated_tokens,
+            drafted_tokens: counters.drafted_tokens,
+            accepted_tokens: counters.accepted_tokens,
+            rejected_tokens: counters.rejected_tokens,
+        }
+    }
+
+    /// Realized draft acceptance rate: `accepted / drafted`, or 0 when
+    /// nothing was drafted (speculation off). With an i.i.d. per-token
+    /// acceptance profile the realized rate runs *below* the profile:
+    /// leading-run verification discards everything after the first
+    /// rejection, so late drafts only count when the whole run before
+    /// them survives.
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted_tokens == 0 {
+            0.0
+        } else {
+            self.accepted_tokens as f64 / self.drafted_tokens as f64
         }
     }
 
@@ -212,10 +264,10 @@ impl QosReport {
     /// Merges per-replica reports into one fleet-wide report.
     ///
     /// Counts (`completed`, `preemptions`) are summed and peaks are maxed.
-    /// `makespan` is the latest replica finish time, and both throughput
-    /// figures are recomputed over it from the summed totals (tokens are
-    /// recovered as `tokens_per_sec × makespan` per replica, which is
-    /// exact). `mean_batch` and `mean_queue_depth` are makespan-weighted,
+    /// `makespan` is the latest replica finish time, and the throughput
+    /// figures (requests, tokens, goodput) are recomputed over it from
+    /// the summed totals (tokens are recovered as `rate × makespan` per
+    /// replica, which is exact). `mean_batch` and `mean_queue_depth` are makespan-weighted,
     /// approximating a fleet-time average across replicas whose step
     /// grids differ. Latency populations merge via [`LatencyStats::merge`]
     /// weighted by completed count — see there for the percentile
@@ -256,6 +308,10 @@ impl QosReport {
             .iter()
             .map(|r| r.tokens_per_sec * r.makespan.get())
             .sum();
+        let good_tokens: f64 = reports
+            .iter()
+            .map(|r| r.goodput_tokens_per_sec * r.makespan.get())
+            .sum();
         Self {
             completed,
             makespan,
@@ -264,6 +320,7 @@ impl QosReport {
             e2e: latency(|r| r.e2e),
             requests_per_sec: completed as f64 / span,
             tokens_per_sec: tokens / span,
+            goodput_tokens_per_sec: good_tokens / span,
             mean_batch: time_weighted(|r| r.mean_batch),
             peak_batch: reports.iter().map(|r| r.peak_batch).max().unwrap_or(0),
             preemptions: reports.iter().map(|r| r.preemptions).sum(),
@@ -278,6 +335,10 @@ impl QosReport {
             prefix_hit_tokens: reports.iter().map(|r| r.prefix_hit_tokens).sum(),
             prefix_miss_tokens: reports.iter().map(|r| r.prefix_miss_tokens).sum(),
             prefix_evicted_tokens: reports.iter().map(|r| r.prefix_evicted_tokens).sum(),
+            generated_tokens: reports.iter().map(|r| r.generated_tokens).sum(),
+            drafted_tokens: reports.iter().map(|r| r.drafted_tokens).sum(),
+            accepted_tokens: reports.iter().map(|r| r.accepted_tokens).sum(),
+            rejected_tokens: reports.iter().map(|r| r.rejected_tokens).sum(),
         }
     }
 }
@@ -366,6 +427,29 @@ mod tests {
     }
 
     #[test]
+    fn goodput_counts_only_slo_met_requests() {
+        use crate::Slo;
+        // Four 10-token requests over 1 s: one meets its strict SLO, one
+        // misses it on TBT, one misses on TTFT, one has no contract (and
+        // therefore counts as met).
+        let tag = |o: RequestOutcome| RequestOutcome {
+            request: o.request.with_slo(Slo::strict()),
+            ..o
+        };
+        let outcomes = vec![
+            tag(outcome(0, 100.0, 20.0)),
+            tag(outcome(1, 100.0, 40.0)),
+            tag(outcome(2, 3000.0, 20.0)),
+            outcome(3, 60_000.0, 500.0),
+        ];
+        let report =
+            QosReport::from_outcomes(&outcomes, Seconds::new(1.0), EngineCounters::default());
+        assert!((report.tokens_per_sec - 40.0).abs() < 1e-9);
+        assert!((report.goodput_tokens_per_sec - 20.0).abs() < 1e-9);
+        assert!(report.goodput_tokens_per_sec <= report.tokens_per_sec);
+    }
+
+    #[test]
     #[should_panic(expected = "empty")]
     fn empty_population_rejected() {
         let _ = LatencyStats::from_samples(&[]);
@@ -424,6 +508,10 @@ mod tests {
                     prefix_hit_tokens: 10 * n,
                     prefix_miss_tokens: 30 * n,
                     prefix_evicted_tokens: n,
+                    generated_tokens: 10 * n,
+                    drafted_tokens: 20 * n,
+                    accepted_tokens: 15 * n,
+                    rejected_tokens: 5 * n,
                 },
             )
         };
@@ -441,6 +529,17 @@ mod tests {
         assert_eq!(fleet.prefix_miss_tokens, 30 * 40);
         assert_eq!(fleet.prefix_evicted_tokens, 40);
         assert!((fleet.prefix_hit_rate() - 0.25).abs() < 1e-12);
+        // Speculation counters sum; realized acceptance is their ratio.
+        assert_eq!(fleet.generated_tokens, 10 * 40);
+        assert_eq!(fleet.drafted_tokens, 20 * 40);
+        assert_eq!(
+            fleet.drafted_tokens,
+            fleet.accepted_tokens + fleet.rejected_tokens
+        );
+        assert!((fleet.acceptance_rate() - 0.75).abs() < 1e-12);
+        // Goodput merges like tokens: every outcome here meets (or has
+        // no) SLO, so goodput equals token throughput.
+        assert!((fleet.goodput_tokens_per_sec - fleet.tokens_per_sec).abs() < 1e-9);
         // 40 requests over the 10 s fleet makespan.
         assert!((fleet.requests_per_sec - 4.0).abs() < 1e-9);
         // Tokens: 10·10 over 5 s plus 30·10 over 10 s, replayed over 10 s.

@@ -3,6 +3,8 @@
 use ador_units::Seconds;
 use serde::{Deserialize, Serialize};
 
+use crate::Slo;
+
 /// One user request: arrival time plus prompt/response token lengths.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Request {
@@ -22,6 +24,21 @@ pub struct Request {
     /// means unique content: the prompt shares KV with nothing and
     /// bypasses the prefix cache.
     pub prefix_group: Option<u64>,
+    /// The latency contract this request is judged against (usually its
+    /// tenant class's [`Slo`]). Feeds two consumers: per-request goodput
+    /// accounting ([`QosReport::goodput_tokens_per_sec`](crate::QosReport::goodput_tokens_per_sec)
+    /// counts only SLO-met requests' tokens, requests without a contract
+    /// counting as met) and the `SloAdaptive` speculation policy, which
+    /// derives each request's speculation depth from its measured slack
+    /// against `slo.tbt_max`. `None` means no contract: always "met",
+    /// never speculated on under `SloAdaptive`.
+    pub slo: Option<Slo>,
+    /// Per-token draft acceptance probability for speculative decoding
+    /// (usually the tenant class's acceptance profile — how predictable
+    /// this traffic is to the draft model). `None` falls back to
+    /// [`SpeculationConfig::default_acceptance`](ador_spec::SpeculationConfig::default_acceptance).
+    /// Ignored unless the engine speculates.
+    pub accept_rate: Option<f64>,
 }
 
 impl Request {
@@ -41,6 +58,8 @@ impl Request {
             input_tokens,
             output_tokens,
             prefix_group: None,
+            slo: None,
+            accept_rate: None,
         }
     }
 
@@ -49,6 +68,28 @@ impl Request {
     /// of the same group under a prefix-caching engine.
     pub fn with_prefix_group(mut self, group: u64) -> Self {
         self.prefix_group = Some(group);
+        self
+    }
+
+    /// Attaches the latency contract the request is judged against (and
+    /// that `SloAdaptive` speculation budgets depth for).
+    pub fn with_slo(mut self, slo: Slo) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// Sets the request's draft acceptance probability for speculative
+    /// decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ rate ≤ 1`.
+    pub fn with_accept_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "acceptance must be a probability, got {rate}"
+        );
+        self.accept_rate = Some(rate);
         self
     }
 

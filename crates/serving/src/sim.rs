@@ -36,6 +36,7 @@ use std::fmt;
 use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::{Deployment, Evaluator, PerfError};
+use ador_spec::SpeculationConfig;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{Engine, StepEvent};
@@ -80,6 +81,11 @@ pub struct SimConfig {
     /// against the KV budget once, and cold blocks are LRU-evicted before
     /// the scheduler resorts to preemption.
     pub prefix_caching: bool,
+    /// Speculative decoding: draft-and-verify multi-token commits per
+    /// decode step ([`SpeculationConfig::off`] by default, which is
+    /// bit-identical to the pre-speculation engine). See
+    /// [`ador_spec`] for the policy/acceptance/cost model.
+    pub speculation: SpeculationConfig,
 }
 
 impl SimConfig {
@@ -96,6 +102,7 @@ impl SimConfig {
             kv_memory_fraction: 0.9,
             policy: SchedulerPolicy::Fused,
             prefix_caching: false,
+            speculation: SpeculationConfig::off(),
         }
     }
 
@@ -138,6 +145,12 @@ impl SimConfig {
     /// Enables or disables prefix-aware KV cache reuse.
     pub fn with_prefix_caching(mut self, enabled: bool) -> Self {
         self.prefix_caching = enabled;
+        self
+    }
+
+    /// Sets the speculative-decoding configuration.
+    pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.speculation = speculation;
         self
     }
 }

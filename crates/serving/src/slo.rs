@@ -92,6 +92,7 @@ mod tests {
             e2e: stat(ttft_ms + 100.0 * tbt_ms),
             requests_per_sec: 10.0,
             tokens_per_sec: 1000.0,
+            goodput_tokens_per_sec: 1000.0,
             mean_batch: 8.0,
             peak_batch: 16,
             preemptions: 0,
@@ -102,6 +103,10 @@ mod tests {
             prefix_hit_tokens: 0,
             prefix_miss_tokens: 0,
             prefix_evicted_tokens: 0,
+            generated_tokens: 0,
+            drafted_tokens: 0,
+            accepted_tokens: 0,
+            rejected_tokens: 0,
         }
     }
 

@@ -1,0 +1,109 @@
+//! Speculative-decoding demo: draft/verify multi-token commits with
+//! SLO-customized depth.
+//!
+//! First sweeps a fixed speculation depth on one engine (chatbot traffic,
+//! weight-bound batch) to show the mean-TBT win of multi-token commits,
+//! then runs the pinned mixed-tenant fleet, where a tight-TBT chatbot
+//! class shares 256-slot replicas with a low-acceptance analytics class —
+//! the regime where naive fixed depth either under-serves the latency
+//! tenant or burns fleet capacity, and the SLO-adaptive verify budget
+//! tops goodput.
+//!
+//! Run with: `cargo run --release --example spec_serving -- [replicas]`
+//! (default 2 replicas).
+
+use ador::cluster::scenarios::{
+    spec_engine_config, spec_fleet, spec_mix, SPEC_RATE, SPEC_REPLICAS, SPEC_REQUESTS, SPEC_SEED,
+};
+use ador::cluster::ClusterSim;
+use ador::model::presets;
+use ador::perf::Deployment;
+use ador::serving::{ServingSim, SpeculationPolicy, TraceProfile};
+use ador::AdorError;
+
+const POLICIES: [SpeculationPolicy; 5] = [
+    SpeculationPolicy::Off,
+    SpeculationPolicy::Fixed(1),
+    SpeculationPolicy::Fixed(2),
+    SpeculationPolicy::Fixed(4),
+    SpeculationPolicy::SloAdaptive,
+];
+
+fn fixed_sweep() -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    println!("one engine, chatbot traffic at 8 req/s, draft acceptance 0.8:");
+    println!("depth k | TBT mean  | TBT p95   | tok/s | realized acceptance");
+    for k in [0usize, 1, 2, 4] {
+        let policy = if k == 0 {
+            SpeculationPolicy::Off
+        } else {
+            SpeculationPolicy::Fixed(k)
+        };
+        let report = ServingSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            spec_engine_config(policy, 0.8),
+        )?
+        .run(TraceProfile::ultrachat_like())?;
+        println!(
+            "{k:>7} | {:>9} | {:>9} | {:>5.0} | {:>19.2}",
+            report.tbt.mean.to_string(),
+            report.tbt.p95.to_string(),
+            report.tokens_per_sec,
+            report.acceptance_rate(),
+        );
+    }
+    Ok(())
+}
+
+fn fleet_policies(replicas: usize) -> Result<(), AdorError> {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    // Per-replica load held constant as the fleet scales.
+    let mix = spec_mix(SPEC_RATE / SPEC_REPLICAS as f64 * replicas as f64);
+    println!("\nmixed chatbot/analytics fleet, {replicas} replicas at 46 req/s each:");
+    println!("policy       | goodput tok/s | tok/s | chatbot att | chatbot TBT p95 | drafted");
+    for policy in POLICIES {
+        let report = ClusterSim::new(
+            &arch,
+            &model,
+            Deployment::single_device(),
+            spec_fleet(replicas, policy),
+        )?
+        .run(&mix, SPEC_REQUESTS, SPEC_SEED)?;
+        let fleet = report.fleet.as_ref().expect("requests completed");
+        let chatbot = &report.tenants[0];
+        println!(
+            "{:<12} | {:>13.0} | {:>5.0} | {:>11.3} | {:>15} | {:>7}",
+            policy.to_string(),
+            fleet.goodput_tokens_per_sec,
+            fleet.tokens_per_sec,
+            chatbot.attainment,
+            chatbot
+                .tbt
+                .as_ref()
+                .expect("chatbot completed")
+                .p95
+                .to_string(),
+            fleet.drafted_tokens,
+        );
+    }
+    println!(
+        "\nGoodput counts only SLO-met requests' tokens: fixed depths either miss the\n\
+         chatbot TBT contract or burn capacity drafting for the 0.55-acceptance\n\
+         analytics tenant; the slo-adaptive verify budget goes to urgent requests only."
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), AdorError> {
+    let replicas: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(SPEC_REPLICAS);
+    fixed_sweep()?;
+    fleet_policies(replicas)?;
+    Ok(())
+}
