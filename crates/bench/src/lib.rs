@@ -98,12 +98,315 @@ pub mod json {
     pub fn array(items: &[String]) -> String {
         format!("[{}]", items.join(","))
     }
+
+    /// A parsed JSON value — the read half of this module, used by the
+    /// artifact schema checks (`crate::schema`) so CI can fail on a
+    /// missing or malformed committed artifact without `serde_json`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number (parsed as `f64`).
+        Num(f64),
+        /// A string literal.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order (keys are not deduplicated).
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up `key` in an object (first match); `None` otherwise.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// The number, if this is a `Num`.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// The string, if this is a `Str`.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// The boolean, if this is a `Bool`.
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+
+        /// The items, if this is an `Arr`.
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses one JSON document (object, array, or scalar). Rejects
+    /// trailing garbage. Error messages carry the byte offset.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'n') => expect(bytes, pos, "null").map(|()| Value::Null),
+            Some(b't') => expect(bytes, pos, "true").map(|()| Value::Bool(true)),
+            Some(b'f') => expect(bytes, pos, "false").map(|()| Value::Bool(false)),
+            Some(b'"') => parse_string(bytes, pos).map(Value::Str),
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(bytes, pos)?);
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected `,` or `]` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(bytes, pos);
+                    let key = parse_string(bytes, pos)?;
+                    skip_ws(bytes, pos);
+                    expect(bytes, pos, ":")?;
+                    let value = parse_value(bytes, pos)?;
+                    fields.push((key, value));
+                    skip_ws(bytes, pos);
+                    match bytes.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected `,` or `}}` at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(_) => parse_number(bytes, pos).map(Value::Num),
+        }
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            *pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", *pos)),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let s = std::str::from_utf8(&bytes[*pos..]).map_err(|_| "invalid UTF-8")?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
 }
 
 /// Emits one machine-readable artifact line (`artifact: <name> <json>`),
 /// greppable out of `bench_output.txt` by perf-tracking tooling.
 pub fn artifact(name: &str, json: &str) {
     println!("artifact: {name} {json}");
+}
+
+/// Schema checks for committed perf artifacts. CI runs these through the
+/// repo-root `tests/bench_artifact.rs` test, so a missing, unparseable or
+/// structurally wrong artifact fails the build rather than silently
+/// rotting.
+pub mod schema {
+    use crate::json::{self, Value};
+
+    /// Validates a `BENCH_cluster.json` document (emitted by the
+    /// `bench_cluster` target): the fleet-driver wall-clock grid.
+    ///
+    /// Checked invariants, not specific grid values — so a `--quick`
+    /// smoke run and the full committed grid both pass:
+    /// - top-level object named `"bench_cluster"` with a positive
+    ///   `rate_per_replica` and a numeric `seed`;
+    /// - a non-empty `cells` array; every cell has integral `replicas`
+    ///   and `requests` counts ≥ 1, positive finite `lockstep_s` /
+    ///   `event_s` wall-clock seconds, and a `speedup` consistent with
+    ///   their ratio;
+    /// - every cell's `reports_equal` flag is `true` — the bench
+    ///   re-verifies driver equivalence on the measured runs themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_bench_cluster(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing `name`")?;
+        if name != "bench_cluster" {
+            return Err(format!("unexpected artifact name `{name}`"));
+        }
+        let rate = doc
+            .get("rate_per_replica")
+            .and_then(Value::as_f64)
+            .ok_or("missing `rate_per_replica`")?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!("non-positive rate_per_replica {rate}"));
+        }
+        doc.get("seed")
+            .and_then(Value::as_f64)
+            .ok_or("missing `seed`")?;
+        let cells = doc
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("missing `cells` array")?;
+        if cells.is_empty() {
+            return Err("empty `cells` array".to_string());
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            let count = |key: &str| -> Result<f64, String> {
+                let x = cell
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("cell {i}: missing `{key}`"))?;
+                if x < 1.0 || x.fract() != 0.0 {
+                    return Err(format!("cell {i}: `{key}` must be an integer ≥ 1, got {x}"));
+                }
+                Ok(x)
+            };
+            count("replicas")?;
+            count("requests")?;
+            let secs = |key: &str| -> Result<f64, String> {
+                let x = cell
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("cell {i}: missing `{key}`"))?;
+                if !(x > 0.0 && x.is_finite()) {
+                    return Err(format!("cell {i}: `{key}` must be positive, got {x}"));
+                }
+                Ok(x)
+            };
+            let lockstep = secs("lockstep_s")?;
+            let event = secs("event_s")?;
+            let speedup = secs("speedup")?;
+            if (speedup - lockstep / event).abs() > 0.01 * (lockstep / event) {
+                return Err(format!(
+                    "cell {i}: speedup {speedup} inconsistent with {lockstep}/{event}"
+                ));
+            }
+            if cell.get("reports_equal").and_then(Value::as_bool) != Some(true) {
+                return Err(format!("cell {i}: reports_equal must be true"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -126,5 +429,103 @@ mod tests {
             r#"{"rate":7,"policy":"jsq"}"#
         );
         assert_eq!(json::array(&[json::num(1.0), json::num(2.0)]), "[1,2]");
+    }
+
+    #[test]
+    fn json_parse_round_trips_emitted_documents() {
+        let doc = json::object(&[
+            ("name", json::string("bench_cluster")),
+            ("rate", json::num(4.0)),
+            ("flag", "true".to_string()),
+            ("cells", json::array(&[json::num(1.0), json::num(2.5)])),
+            ("note", json::string("tabs\tand \"quotes\"")),
+        ]);
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed.get("name").and_then(json::Value::as_str),
+            Some("bench_cluster")
+        );
+        assert_eq!(parsed.get("rate").and_then(json::Value::as_f64), Some(4.0));
+        assert_eq!(
+            parsed.get("flag").and_then(json::Value::as_bool),
+            Some(true)
+        );
+        let cells = parsed.get("cells").and_then(json::Value::as_array).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[1].as_f64(), Some(2.5));
+        assert_eq!(
+            parsed.get("note").and_then(json::Value::as_str),
+            Some("tabs\tand \"quotes\"")
+        );
+    }
+
+    #[test]
+    fn json_parse_rejects_malformed_documents() {
+        assert!(json::parse("").is_err());
+        assert!(json::parse("{").is_err());
+        assert!(json::parse(r#"{"a": 1,}"#).is_err());
+        assert!(json::parse("[1, 2] trailing").is_err());
+        assert!(json::parse(r#""unterminated"#).is_err());
+        // Whitespace and nesting are fine.
+        assert!(json::parse(" {\n\t\"a\": [true, null, {\"b\": -1e-3}]\n} ").is_ok());
+    }
+
+    fn cell(replicas: f64, lockstep: f64, event: f64, equal: bool) -> String {
+        json::object(&[
+            ("replicas", json::num(replicas)),
+            ("requests", json::num(1000.0)),
+            ("lockstep_s", json::num(lockstep)),
+            ("event_s", json::num(event)),
+            ("speedup", json::num(lockstep / event)),
+            ("reports_equal", equal.to_string()),
+        ])
+    }
+
+    fn grid_doc(cells: &[String]) -> String {
+        json::object(&[
+            ("name", json::string("bench_cluster")),
+            ("rate_per_replica", json::num(4.0)),
+            ("seed", json::num(23.0)),
+            ("cells", json::array(cells)),
+        ])
+    }
+
+    #[test]
+    fn bench_cluster_schema_accepts_a_well_formed_grid() {
+        let doc = grid_doc(&[cell(4.0, 1.0, 0.5, true), cell(128.0, 60.0, 10.0, true)]);
+        crate::schema::validate_bench_cluster(&doc).unwrap();
+    }
+
+    #[test]
+    fn bench_cluster_schema_rejects_structural_violations() {
+        let validate = crate::schema::validate_bench_cluster;
+        assert!(validate("not json").is_err());
+        assert!(validate(&grid_doc(&[])).is_err(), "empty grid");
+        assert!(
+            validate(&grid_doc(&[cell(4.0, 1.0, 0.5, false)])).is_err(),
+            "drivers diverged"
+        );
+        assert!(
+            validate(&grid_doc(&[cell(4.5, 1.0, 0.5, true)])).is_err(),
+            "fractional replica count"
+        );
+        assert!(
+            validate(&grid_doc(&[cell(4.0, 0.0, 0.5, true)])).is_err(),
+            "zero wall-clock"
+        );
+        // A speedup field inconsistent with the measured ratio.
+        let bad = grid_doc(&[json::object(&[
+            ("replicas", json::num(4.0)),
+            ("requests", json::num(1000.0)),
+            ("lockstep_s", json::num(2.0)),
+            ("event_s", json::num(1.0)),
+            ("speedup", json::num(5.0)),
+            ("reports_equal", "true".to_string()),
+        ])]);
+        assert!(validate(&bad).is_err(), "inconsistent speedup");
+        // Wrong artifact name.
+        let renamed =
+            grid_doc(&[cell(4.0, 1.0, 0.5, true)]).replace("bench_cluster", "bench_other");
+        assert!(validate(&renamed).is_err());
     }
 }

@@ -1,12 +1,26 @@
-//! The fleet simulator: N engine replicas behind a router, advanced in
-//! lockstep on a shared event clock.
+//! The fleet simulator: N engine replicas behind a router, driven by a
+//! discrete-event core on one global clock.
+//!
+//! The default driver ([`DriveMode::EventDriven`]) keeps a binary-heap
+//! event queue over the two event kinds a fleet has — request arrivals
+//! and replica-ready instants ([`Engine::next_event_time`]) — and always
+//! processes the earliest. A replica is stepped only when it actually has
+//! work scheduled before the next routing decision, so idle replicas cost
+//! nothing per arrival, and every routing decision and metric is stamped
+//! from the single global clock. The previous lockstep driver
+//! ([`DriveMode::Lockstep`]), which swept all N replicas up to each
+//! arrival and let per-replica clocks diverge during the drain, is kept
+//! as the regression oracle: both drivers produce identical per-request
+//! outcomes (pinned by `tests/cluster_serving.rs`).
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::Deployment;
 use ador_serving::{Engine, QosReport, RequestOutcome, ServingSim, SimConfig, SimError};
+use ador_units::Seconds;
 use serde::Serialize;
 
 use crate::report::imbalance;
@@ -14,6 +28,33 @@ use crate::{
     ClusterRequest, FleetReport, ReplicaSnapshot, Router, RouterPolicy, TenantClass, TenantMix,
     TenantQos,
 };
+
+/// How the fleet driver advances its replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum DriveMode {
+    /// The discrete-event core (default): a binary-heap event queue over
+    /// arrivals and replica-ready instants. Each replica advances only
+    /// when it has work scheduled before the next event, so per-arrival
+    /// cost scales with the *busy* replicas, not the fleet size.
+    #[default]
+    EventDriven,
+    /// The original lockstep driver, kept as the regression oracle: every
+    /// replica is swept up to each arrival instant, and after the last
+    /// arrival the fleet drains round-robin, one iteration per replica
+    /// per round. O(replicas) work per arrival even when most replicas
+    /// are idle. Produces per-request outcomes identical to
+    /// [`DriveMode::EventDriven`].
+    Lockstep,
+}
+
+impl std::fmt::Display for DriveMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            DriveMode::EventDriven => "event-driven",
+            DriveMode::Lockstep => "lockstep",
+        })
+    }
+}
 
 /// Fleet-level configuration: replica count, routing policy, admission
 /// control, and the per-replica engine knobs.
@@ -30,6 +71,10 @@ pub struct ClusterConfig {
     /// scheduler policy). The `arrival_rate`, `requests` and `seed`
     /// fields are unused — the cluster's [`TenantMix`] owns the workload.
     pub engine: SimConfig,
+    /// How the driver advances replicas. The event-driven core and the
+    /// lockstep oracle produce identical reports; the knob exists for
+    /// regression testing and the `bench_cluster` wall-clock comparison.
+    pub drive: DriveMode,
 }
 
 impl ClusterConfig {
@@ -41,12 +86,19 @@ impl ClusterConfig {
             policy,
             queue_cap: None,
             engine: SimConfig::new(1.0, 128),
+            drive: DriveMode::EventDriven,
         }
     }
 
     /// Sets the per-replica engine configuration.
     pub fn with_engine(mut self, engine: SimConfig) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Selects the fleet driver (event-driven by default).
+    pub fn with_drive_mode(mut self, drive: DriveMode) -> Self {
+        self.drive = drive;
         self
     }
 
@@ -80,14 +132,52 @@ impl ClusterConfig {
     }
 }
 
+/// A replica-ready event: the instant one replica next has work, on the
+/// global fleet clock. Min-heap ordered via [`Reverse`]; ties break
+/// toward the lowest replica index (engines are independent, so tie
+/// order cannot affect outcomes — the fixed order just keeps the event
+/// trace deterministic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ReadyAt {
+    time: Seconds,
+    replica: usize,
+}
+
+impl Eq for ReadyAt {}
+
+impl PartialOrd for ReadyAt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ReadyAt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            .expect("event times are never NaN")
+            .then(self.replica.cmp(&other.replica))
+    }
+}
+
 /// A fleet of engine replicas behind a [`Router`].
 ///
-/// The driver advances replicas in lockstep on a shared event clock: for
-/// each request in arrival order, every replica is stepped up to the
-/// arrival instant ([`Engine::step_until`]), the router picks a replica
-/// from the live load snapshots, and the request is submitted (or shed).
-/// Once the stream is exhausted the fleet drains round-robin, one engine
-/// iteration per replica per round.
+/// The default driver is a discrete-event core on one global clock: a
+/// binary-heap event queue holds each busy replica keyed by the instant
+/// it next has work ([`Engine::next_event_time`]), and the sorted arrival
+/// stream supplies the other event kind. [`ClusterSim::advance`] always
+/// processes the earliest event — it either sweeps the soonest-ready
+/// replica up to the next arrival, or (when no replica has work strictly
+/// before the next arrival) routes that arrival from cached load
+/// snapshots that are refreshed only when a replica steps or receives a
+/// request. Idle
+/// replicas are never touched, so per-event cost scales with the busy
+/// part of the fleet; the drain after the last arrival is the same loop
+/// with no arrivals left, on the same clock.
+///
+/// [`DriveMode::Lockstep`] selects the original sweep-all-replicas
+/// driver, retained as a regression oracle — both drivers produce
+/// identical per-request outcomes and fleet reports.
 ///
 /// [`ClusterSim::run`] does all of this in one call; the incremental
 /// [`ClusterSim::submit_stream`] / [`ClusterSim::advance`] /
@@ -125,6 +215,18 @@ pub struct ClusterSim<'a> {
     submitted_per_tenant: Vec<usize>,
     rejected_per_tenant: Vec<usize>,
     assignments: Vec<(u64, Option<usize>)>,
+    /// The global fleet clock: the latest event instant processed. Every
+    /// routing decision is stamped at or after this time.
+    clock: Seconds,
+    /// The event queue of the discrete-event driver: busy replicas keyed
+    /// by [`Engine::next_event_time`]. Entries are invalidated lazily —
+    /// every state change pushes a fresh entry, and a popped entry whose
+    /// key no longer matches its replica's live peek is discarded.
+    ready: BinaryHeap<Reverse<ReadyAt>>,
+    /// Cached per-replica load snapshots, refreshed only when a replica
+    /// steps or receives a submission (its load state changes exactly
+    /// then, and never merely by time passing).
+    snapshots: Vec<ReplicaSnapshot>,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -147,6 +249,7 @@ impl<'a> ClusterSim<'a> {
         let engines = (0..cfg.replicas)
             .map(|_| Ok(ServingSim::new(arch, model, deployment, cfg.engine)?.engine()))
             .collect::<Result<Vec<_>, SimError>>()?;
+        let snapshots = engines.iter().map(snapshot).collect();
         Ok(Self {
             engines,
             router: Router::new(cfg.policy),
@@ -158,6 +261,9 @@ impl<'a> ClusterSim<'a> {
             submitted_per_tenant: Vec::new(),
             rejected_per_tenant: Vec::new(),
             assignments: Vec::new(),
+            clock: Seconds::ZERO,
+            ready: BinaryHeap::new(),
+            snapshots,
         })
     }
 
@@ -229,38 +335,82 @@ impl<'a> ClusterSim<'a> {
         self.stream = stream.into();
     }
 
-    /// Advances the fleet by one event: routes the next arrival (stepping
-    /// every replica up to the arrival instant first), or — once the
-    /// stream is exhausted — steps each undrained replica one iteration.
-    /// Returns `false` when the fleet is fully drained.
+    /// Advances the fleet by one event and returns `false` once fully
+    /// drained.
+    ///
+    /// Under [`DriveMode::EventDriven`] one event is either a sweep of
+    /// the soonest-ready replica up to the next arrival (its full drain
+    /// once the stream is exhausted) or one routing decision — whichever
+    /// is earliest on the global clock. Under
+    /// [`DriveMode::Lockstep`] one event is one routed arrival (with every
+    /// replica first swept up to the arrival instant) or one round-robin
+    /// drain round. Both drivers preserve the conservation invariant
+    /// `submitted == completed + rejected + in_flight` between calls and
+    /// produce identical per-request outcomes.
     ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn advance(&mut self) -> Result<bool, SimError> {
+        match self.cfg.drive {
+            DriveMode::EventDriven => self.advance_event(),
+            DriveMode::Lockstep => self.advance_lockstep(),
+        }
+    }
+
+    /// One discrete event: the earlier of (replica-ready, next arrival).
+    /// A ready replica is swept up to the next arrival in one go (its
+    /// iterations are internal to the engine — no other event can
+    /// interleave, since engines are independent); work scheduled exactly
+    /// *at* the arrival instant runs after routing, matching the lockstep
+    /// sweep's `now < arrival` bound, so both drivers route from
+    /// identical snapshots. With no arrivals left, the soonest-ready
+    /// replica drains completely — per-replica timelines that would drift
+    /// apart under lockstep's round-robin drain all end on the one global
+    /// clock here.
+    fn advance_event(&mut self) -> Result<bool, SimError> {
+        let next_arrival = self.stream.front().map(|cr| cr.request.arrival);
+        match (next_arrival, self.peek_ready()) {
+            (arrival, Some(ev)) if arrival.is_none_or(|t| ev.time < t) => {
+                self.ready.pop();
+                let engine = &mut self.engines[ev.replica];
+                match arrival {
+                    Some(horizon) => engine.step_until(horizon)?,
+                    None => {
+                        while !engine.is_drained() {
+                            engine.step()?;
+                        }
+                    }
+                }
+                self.clock = self.clock.max(self.engines[ev.replica].now());
+                self.snapshots[ev.replica] = snapshot(&self.engines[ev.replica]);
+                self.push_ready(ev.replica);
+                Ok(true)
+            }
+            (Some(arrival), _) => {
+                let cr = self.stream.pop_front().expect("peeked");
+                self.clock = self.clock.max(arrival);
+                self.route_and_submit(cr)?;
+                Ok(true)
+            }
+            (None, _) => Ok(false),
+        }
+    }
+
+    /// The lockstep oracle: sweep every replica up to the arrival, route,
+    /// and (once the stream is exhausted) drain round-robin on diverging
+    /// per-replica clocks. Engines are independent, so the per-request
+    /// outcomes still match the event core exactly; only the driver's
+    /// per-arrival cost (O(replicas), idle or not) differs.
+    fn advance_lockstep(&mut self) -> Result<bool, SimError> {
         if let Some(cr) = self.stream.pop_front() {
             let arrival = cr.request.arrival;
-            for engine in &mut self.engines {
+            for (idx, engine) in self.engines.iter_mut().enumerate() {
                 engine.step_until(arrival)?;
+                self.snapshots[idx] = snapshot(engine);
             }
-            let snapshots: Vec<ReplicaSnapshot> = self.engines.iter().map(snapshot).collect();
-            let idx = self.router.route(
-                cr.tenant,
-                self.classes.len(),
-                cr.request.prefix_group,
-                &snapshots,
-            );
-            let admit = self
-                .cfg
-                .queue_cap
-                .is_none_or(|cap| snapshots[idx].queue_depth < cap);
-            if admit {
-                self.engines[idx].submit(cr.request)?;
-                self.assignments.push((cr.request.id, Some(idx)));
-            } else {
-                self.rejected_per_tenant[cr.tenant] += 1;
-                self.assignments.push((cr.request.id, None));
-            }
+            self.clock = self.clock.max(arrival);
+            self.route_and_submit(cr)?;
             return Ok(true);
         }
         let mut any = false;
@@ -271,6 +421,66 @@ impl<'a> ClusterSim<'a> {
             }
         }
         Ok(any)
+    }
+
+    /// Routes one arrival from the current snapshots and submits (or
+    /// sheds) it. The snapshots reflect every replica advanced past all
+    /// work scheduled before the arrival instant, whichever driver
+    /// maintained them.
+    fn route_and_submit(&mut self, cr: ClusterRequest) -> Result<(), SimError> {
+        let idx = self.router.route(
+            cr.tenant,
+            self.classes.len(),
+            cr.request.prefix_group,
+            &self.snapshots,
+        );
+        let admit = self
+            .cfg
+            .queue_cap
+            .is_none_or(|cap| self.snapshots[idx].queue_depth < cap);
+        if admit {
+            self.engines[idx].submit(cr.request)?;
+            self.snapshots[idx] = snapshot(&self.engines[idx]);
+            if self.cfg.drive == DriveMode::EventDriven {
+                self.push_ready(idx);
+            }
+            self.assignments.push((cr.request.id, Some(idx)));
+        } else {
+            self.rejected_per_tenant[cr.tenant] += 1;
+            self.assignments.push((cr.request.id, None));
+        }
+        Ok(())
+    }
+
+    /// Enqueues `replica`'s next-work instant (no-op once drained).
+    fn push_ready(&mut self, replica: usize) {
+        if let Some(time) = self.engines[replica].next_event_time() {
+            self.ready.push(Reverse(ReadyAt { time, replica }));
+        }
+    }
+
+    /// Peeks the earliest *live* replica-ready event, lazily discarding
+    /// stale entries: every state change pushed a fresh entry, so an
+    /// entry whose key no longer equals its replica's live
+    /// [`Engine::next_event_time`] is an outdated duplicate.
+    fn peek_ready(&mut self) -> Option<ReadyAt> {
+        while let Some(&Reverse(ev)) = self.ready.peek() {
+            if self.engines[ev.replica].next_event_time() == Some(ev.time) {
+                return Some(ev);
+            }
+            self.ready.pop();
+        }
+        None
+    }
+
+    /// The global fleet clock: the latest instant any replica has worked
+    /// to, or the latest routed arrival — whichever is later. All merged
+    /// fleet metrics are measured against this single timeline.
+    pub fn now(&self) -> Seconds {
+        self.engines
+            .iter()
+            .map(Engine::now)
+            .fold(self.clock, Seconds::max)
     }
 
     /// Requests offered to the cluster so far (routed, shed, or still in
@@ -300,7 +510,19 @@ impl<'a> ClusterSim<'a> {
         self.stream.is_empty() && self.engines.iter().all(|e| e.is_drained())
     }
 
-    /// Builds the fleet report.
+    /// Per-replica completed outcomes (completion order within each
+    /// replica) — the raw populations behind the report, exposed so the
+    /// event-core/lockstep equivalence tests can compare per-request
+    /// outcomes directly rather than through aggregates.
+    pub fn replica_outcomes(&self) -> Vec<&[RequestOutcome]> {
+        self.engines.iter().map(|e| e.outcomes()).collect()
+    }
+
+    /// Builds the fleet report. The merged fleet [`QosReport`] is exact:
+    /// latency percentiles come from the pooled per-request outcomes and
+    /// all throughput figures are measured over the shared fleet clock
+    /// (the latest replica finish time) via [`QosReport::merge_exact`] —
+    /// per-replica timelines are never mixed.
     ///
     /// # Panics
     ///
@@ -313,7 +535,12 @@ impl<'a> ClusterSim<'a> {
         let fleet = if completed_reports.is_empty() {
             None
         } else {
-            Some(QosReport::merge(&completed_reports))
+            let pooled: Vec<RequestOutcome> = self
+                .engines
+                .iter()
+                .flat_map(|e| e.outcomes().iter().copied())
+                .collect();
+            Some(QosReport::merge_exact(&completed_reports, &pooled))
         };
 
         let tokens_per_replica: Vec<f64> = self

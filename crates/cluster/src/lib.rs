@@ -7,10 +7,14 @@
 //! once. This crate adds that layer on top of [`ador_serving`]'s
 //! incremental [`Engine`](ador_serving::Engine) API:
 //!
-//! - **[`ClusterSim`]** — N independent engine replicas advanced in
-//!   lockstep on a shared event clock. For every arrival, each replica is
-//!   stepped up to the arrival instant and the router picks a target from
-//!   the live load snapshots; after the last arrival the fleet drains.
+//! - **[`ClusterSim`]** — N independent engine replicas driven by a
+//!   discrete-event core on one global clock: a binary-heap event queue
+//!   over arrivals and replica-ready instants, so each replica advances
+//!   only when it actually has work and every routing decision reads load
+//!   snapshots consistent with the single fleet timeline. The original
+//!   lockstep sweep survives as [`DriveMode::Lockstep`], the regression
+//!   oracle the event core is pinned against (identical per-request
+//!   outcomes).
 //! - **[`Router`] / [`RouterPolicy`]** — pluggable routing:
 //!   round-robin (the count-balancing baseline), join-shortest-queue,
 //!   least-KV-load (token-backlog aware), SLO-aware class partitioning,
@@ -79,7 +83,7 @@ pub mod scenarios;
 mod tenant;
 
 pub use capacity::{cluster_capacity, ClusterCapacityResult};
-pub use cluster::{ClusterConfig, ClusterSim};
+pub use cluster::{ClusterConfig, ClusterSim, DriveMode};
 pub use report::{FleetReport, TenantQos};
 pub use router::{ReplicaSnapshot, Router, RouterPolicy, AFFINITY_SPILL};
 pub use tenant::{ArrivalProcess, ClusterRequest, SessionShape, TenantClass, TenantMix};

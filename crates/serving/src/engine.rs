@@ -363,6 +363,23 @@ impl<'a> Engine<'a> {
         self.pending.is_empty() && self.waiting.is_empty() && self.active.is_empty()
     }
 
+    /// When this engine next has work to do, on its own clock: `now` if a
+    /// request is admitted or queued (the next iteration runs immediately),
+    /// the earliest pending arrival if the engine is empty but a future
+    /// submission is parked, or `None` once drained.
+    ///
+    /// This is the peek an event-driven fleet driver keys its event queue
+    /// on: an idle replica never needs to be stepped before this instant,
+    /// and a drained one never again. Calling [`Engine::step`] at (or
+    /// after) this time always makes progress; the returned time is
+    /// monotone across steps.
+    pub fn next_event_time(&self) -> Option<Seconds> {
+        if !self.active.is_empty() || !self.waiting.is_empty() {
+            return Some(self.now);
+        }
+        self.pending.front().map(|r| self.now.max(r.arrival))
+    }
+
     /// Completed-request outcomes so far, in completion order.
     pub fn outcomes(&self) -> &[RequestOutcome] {
         &self.outcomes
@@ -1003,6 +1020,46 @@ mod tests {
         while eng.step().unwrap() != StepEvent::Idle {}
         assert_eq!(eng.completed(), 1);
         assert!(eng.now() >= Seconds::new(5.0));
+    }
+
+    #[test]
+    fn next_event_time_tracks_work_and_arrivals() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        // Drained engine: no next event.
+        assert_eq!(eng.next_event_time(), None);
+        // Empty engine with a future submission: the pending arrival.
+        eng.submit(Request::new(0, Seconds::new(3.0), 64, 4))
+            .unwrap();
+        assert_eq!(eng.next_event_time(), Some(Seconds::new(3.0)));
+        // Stepping at that instant makes progress (the clock jumps), and
+        // from then on the next event is the engine's own clock until the
+        // request drains.
+        assert_eq!(eng.step().unwrap(), StepEvent::Jumped);
+        while let Some(t) = eng.next_event_time() {
+            assert_eq!(t, eng.now(), "busy engine works at its own clock");
+            eng.step().unwrap();
+        }
+        assert!(eng.is_drained());
+        assert_eq!(eng.completed(), 1);
+    }
+
+    #[test]
+    fn next_event_time_never_runs_backwards() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(4.0, 4));
+        for r in crate::RequestGenerator::new(4.0, TraceProfile::short_chat(), 9).take(20) {
+            eng.submit(r).unwrap();
+        }
+        let mut last = Seconds::ZERO;
+        while let Some(t) = eng.next_event_time() {
+            assert!(t >= last, "next event {t} regressed below {last}");
+            last = t;
+            eng.step().unwrap();
+        }
+        assert_eq!(eng.completed(), 20);
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl LatencyStats {
     /// merged summary are therefore conservative: a pass is trustworthy, a
     /// narrow miss may be a merge artifact.
     ///
+    /// Use this bound-based path only when the raw per-request outcomes
+    /// are unavailable (pre-aggregated summaries, external data). A caller
+    /// that still holds the outcomes — the cluster driver does — should
+    /// recompute from the pooled population instead
+    /// ([`QosReport::merge_exact`]), which makes the fleet percentiles
+    /// exact rather than an upper bound.
+    ///
     /// # Panics
     ///
     /// Panics if `parts` is empty or the counts sum to zero.
@@ -341,6 +348,42 @@ impl QosReport {
             rejected_tokens: reports.iter().map(|r| r.rejected_tokens).sum(),
         }
     }
+
+    /// Merges per-replica reports like [`QosReport::merge`], then replaces
+    /// every population-derived figure with the exact value recomputed
+    /// from the pooled per-request `outcomes` on the shared fleet clock:
+    /// latency percentiles are the true union percentiles (not the
+    /// bound-based maximum over replicas — see [`LatencyStats::merge`]),
+    /// and the throughput figures divide the pooled token totals by the
+    /// fleet makespan (the latest replica finish time) directly instead of
+    /// recovering them from per-replica rates.
+    ///
+    /// Counter aggregates that have no per-request population — summed
+    /// token/preemption counters, maxed peaks, makespan-weighted step
+    /// means — keep their [`QosReport::merge`] semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports` is empty, nothing completed, or `outcomes` does
+    /// not hold exactly the requests the reports counted.
+    pub fn merge_exact(reports: &[QosReport], outcomes: &[RequestOutcome]) -> Self {
+        let merged = Self::merge(reports);
+        assert_eq!(
+            outcomes.len(),
+            merged.completed,
+            "pooled outcomes must cover exactly the merged reports' requests"
+        );
+        let exact = Self::from_outcomes(outcomes, merged.makespan, EngineCounters::default());
+        Self {
+            ttft: exact.ttft,
+            tbt: exact.tbt,
+            e2e: exact.e2e,
+            requests_per_sec: exact.requests_per_sec,
+            tokens_per_sec: exact.tokens_per_sec,
+            goodput_tokens_per_sec: exact.goodput_tokens_per_sec,
+            ..merged
+        }
+    }
 }
 
 #[cfg(test)]
@@ -554,5 +597,50 @@ mod tests {
     #[should_panic(expected = "no completed requests")]
     fn report_merge_rejects_empty() {
         let _ = QosReport::merge(&[]);
+    }
+
+    #[test]
+    fn merge_exact_recovers_the_union_population() {
+        // Two deliberately imbalanced replicas: one holds the fast 90 % of
+        // the population, the other the slow tail. The bound-based merge
+        // overstates the union p50/p95; the exact merge must equal a
+        // single-engine report over the pooled population on the fleet
+        // makespan.
+        let fast: Vec<RequestOutcome> = (1..=90).map(|i| outcome(i, i as f64, 10.0)).collect();
+        let slow: Vec<RequestOutcome> = (91..=100)
+            .map(|i| outcome(i, i as f64 * 10.0, 10.0))
+            .collect();
+        let a = QosReport::from_outcomes(&fast, Seconds::new(4.0), EngineCounters::default());
+        let b = QosReport::from_outcomes(&slow, Seconds::new(9.0), EngineCounters::default());
+        let pooled: Vec<RequestOutcome> = fast.iter().chain(&slow).copied().collect();
+
+        let bound = QosReport::merge(&[a.clone(), b.clone()]);
+        let exact = QosReport::merge_exact(&[a, b], &pooled);
+        let truth = QosReport::from_outcomes(&pooled, Seconds::new(9.0), EngineCounters::default());
+
+        assert_eq!(exact.ttft, truth.ttft);
+        assert_eq!(exact.tbt, truth.tbt);
+        assert_eq!(exact.e2e, truth.e2e);
+        assert_eq!(exact.makespan, Seconds::new(9.0));
+        assert!((exact.tokens_per_sec - truth.tokens_per_sec).abs() < 1e-12);
+        assert!((exact.goodput_tokens_per_sec - truth.goodput_tokens_per_sec).abs() < 1e-12);
+        assert!((exact.requests_per_sec - truth.requests_per_sec).abs() < 1e-12);
+        // The imbalance makes the bound strictly loose here — the exact
+        // path is a real improvement, not a rename.
+        assert!(bound.ttft.p50 > exact.ttft.p50);
+        assert!(bound.ttft.p95 > exact.ttft.p95);
+        // Counter aggregates keep their merge semantics.
+        assert_eq!(exact.completed, bound.completed);
+        assert_eq!(exact.peak_batch, bound.peak_batch);
+        assert_eq!(exact.preemptions, bound.preemptions);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooled outcomes")]
+    fn merge_exact_rejects_mismatched_outcomes() {
+        let outcomes: Vec<RequestOutcome> = (0..4).map(|i| outcome(i, 50.0, 20.0)).collect();
+        let report =
+            QosReport::from_outcomes(&outcomes, Seconds::new(1.0), EngineCounters::default());
+        let _ = QosReport::merge_exact(&[report], &outcomes[..2]);
     }
 }

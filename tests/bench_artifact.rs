@@ -1,0 +1,22 @@
+//! Committed perf-artifact checks: the machine-readable baselines at the
+//! workspace root must exist and satisfy their schema, so CI fails when
+//! an artifact goes missing, a bench's emitter drifts from the schema, or
+//! a hand edit corrupts the file.
+
+/// `BENCH_cluster.json` — the fleet-driver wall-clock grid emitted by
+/// `cargo bench -p ador-bench --bench bench_cluster`. Schema-only (cell
+/// structure, positive wall-clocks, drivers-agree flags): a `--quick`
+/// smoke run and the full committed grid both pass, so re-running the
+/// bench locally never breaks the suite.
+#[test]
+fn committed_bench_cluster_grid_is_valid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_cluster.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_cluster.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p ador-bench --bench bench_cluster`): {e}"
+        )
+    });
+    ador_bench::schema::validate_bench_cluster(&text)
+        .unwrap_or_else(|e| panic!("BENCH_cluster.json failed its schema: {e}"));
+}

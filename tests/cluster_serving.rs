@@ -1,14 +1,18 @@
 //! Cluster-serving integration tests: the pinned router-policy ordering,
-//! routing determinism, SLO-aware partition isolation, and the fleet-wide
-//! conservation invariant.
+//! routing determinism, SLO-aware partition isolation, the event-core /
+//! lockstep-oracle equivalence pins, and the fleet-wide conservation
+//! invariant.
 
 use ador::cluster::scenarios::{
     scarce_kv_fleet, skewed_two_tenant, SKEWED_MIX_RATE, SKEWED_MIX_REQUESTS,
 };
-use ador::cluster::{ClusterConfig, ClusterSim, RouterPolicy, TenantClass, TenantMix};
+use ador::cluster::{
+    ClusterConfig, ClusterRequest, ClusterSim, DriveMode, RouterPolicy, TenantClass, TenantMix,
+};
 use ador::model::presets;
 use ador::perf::Deployment;
-use ador::serving::SimConfig;
+use ador::serving::{Request, SimConfig};
+use ador::units::Seconds;
 use proptest::prelude::*;
 
 /// The pinned scenario (shared with `exp_cluster` and `fleet_serving`
@@ -134,8 +138,179 @@ fn slo_aware_isolates_classes_onto_their_partition() {
     }
 }
 
+/// Drives one fleet over an explicit stream in the given mode and
+/// returns (global clock at drain, per-replica completed outcomes, full
+/// report).
+fn drive(
+    cfg: ClusterConfig,
+    mix: &TenantMix,
+    stream: Vec<ClusterRequest>,
+) -> (
+    Seconds,
+    Vec<Vec<ador::serving::RequestOutcome>>,
+    ador::cluster::FleetReport,
+) {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mut sim = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg).unwrap();
+    sim.submit_stream(mix, stream);
+    while sim.advance().unwrap() {}
+    let now = sim.now();
+    let outcomes = sim
+        .replica_outcomes()
+        .into_iter()
+        .map(<[_]>::to_vec)
+        .collect();
+    (now, outcomes, sim.finish())
+}
+
+/// The tentpole pin: on the pinned scarce-KV scenario, the discrete-event
+/// core reproduces the lockstep oracle *exactly* — per-request outcomes
+/// replica by replica (completion order included), the routing trace, and
+/// the full fleet report. The event core is a driver refactor, not a
+/// semantic change.
+#[test]
+fn event_core_matches_the_lockstep_oracle_on_the_pinned_scenario() {
+    use ador::cluster::scenarios::SKEWED_MIX_SEED;
+    let mix = skewed_mix();
+    let stream = mix.generate(SKEWED_MIX_REQUESTS, SKEWED_MIX_SEED);
+    let base = scarce_kv_fleet(4, RouterPolicy::JoinShortestQueue);
+
+    let (event_now, event_outcomes, event_report) = drive(
+        base.with_drive_mode(DriveMode::EventDriven),
+        &mix,
+        stream.clone(),
+    );
+    let (lock_now, lock_outcomes, lock_report) =
+        drive(base.with_drive_mode(DriveMode::Lockstep), &mix, stream);
+
+    assert_eq!(
+        event_outcomes, lock_outcomes,
+        "per-replica, per-request outcomes must be identical"
+    );
+    assert_eq!(event_now, lock_now, "drained fleets end on the same clock");
+    // The reports differ only in the recorded drive mode's absence — the
+    // report carries no mode field, so full equality must hold.
+    assert_eq!(event_report, lock_report);
+}
+
+/// The drain-phase clock-drift fix, pinned: the merged fleet makespan is
+/// exactly the latest per-replica makespan on the shared global clock —
+/// not a mix of per-replica timelines — and the fleet clock agrees.
+#[test]
+fn fleet_makespan_is_the_max_replica_makespan_on_the_shared_clock() {
+    let mix = skewed_mix();
+    let stream = mix.generate(200, 13);
+    let (now, _, report) = drive(scarce_kv_fleet(3, RouterPolicy::RoundRobin), &mix, stream);
+    let fleet = report.fleet.as_ref().expect("requests completed");
+    let max_replica = report
+        .per_replica
+        .iter()
+        .flatten()
+        .map(|r| r.makespan)
+        .fold(Seconds::ZERO, Seconds::max);
+    assert_eq!(
+        fleet.makespan, max_replica,
+        "fleet makespan must be the shared-clock max, not a per-replica mix"
+    );
+    // Nothing was shed, so the global clock ends exactly at the last
+    // replica's finish instant.
+    assert_eq!(now, max_replica);
+    // Throughput is measured over that shared makespan.
+    let expected_rps = fleet.completed as f64 * fleet.makespan.recip_rate();
+    assert!((fleet.requests_per_sec - expected_rps).abs() < 1e-9);
+}
+
+/// A zero queue cap sheds every request: the report must come out clean —
+/// no NaN imbalance, no fleet QoS, every tenant fully rejected — rather
+/// than dividing by an all-zero token spread.
+#[test]
+fn all_shed_fleet_reports_a_finite_imbalance() {
+    let mix = skewed_mix();
+    let stream = mix.generate(40, 7);
+    let cfg = scarce_kv_fleet(2, RouterPolicy::JoinShortestQueue).with_queue_cap(0);
+    let (_, outcomes, report) = drive(cfg, &mix, stream);
+
+    assert_eq!(report.completed, 0);
+    assert_eq!(report.rejected, 40);
+    assert!(report.fleet.is_none(), "nothing completed, no fleet QoS");
+    assert!(outcomes.iter().all(Vec::is_empty));
+    assert!(
+        report.imbalance.is_finite(),
+        "all-shed imbalance must not be NaN"
+    );
+    assert_eq!(report.imbalance, 0.0);
+    assert_eq!(report.fleet_attainment(), 0.0);
+    let rejected: usize = report.tenants.iter().map(|t| t.rejected).sum();
+    assert_eq!(rejected, 40);
+}
+
+/// Requests that arrive at the *same instant* are routed in generation
+/// order: `submit_stream`'s sort is stable, so equal arrival timestamps
+/// keep their original order and round-robin cycles replicas in exactly
+/// that order. Pinned so the tie-break never silently becomes
+/// unstable (which would scramble every same-seed trace).
+#[test]
+fn equal_arrival_ties_are_routed_in_generation_order() {
+    let mix = TenantMix::new(vec![TenantClass::chatbot(1.0)]);
+    // Nine requests, three per instant, ids in generation order.
+    let stream: Vec<ClusterRequest> = (0..9)
+        .map(|i| ClusterRequest {
+            request: Request::new(i, Seconds::from_millis(250.0 * (i / 3) as f64), 64, 16),
+            tenant: 0,
+        })
+        .collect();
+    let cfg = ClusterConfig::new(3, RouterPolicy::RoundRobin);
+    let (_, _, report) = drive(cfg, &mix, stream);
+
+    let ids: Vec<u64> = report.assignments.iter().map(|(id, _)| *id).collect();
+    assert_eq!(ids, (0..9).collect::<Vec<_>>(), "stable tie-break");
+    let replicas: Vec<usize> = report
+        .assignments
+        .iter()
+        .map(|(_, r)| r.expect("nothing shed"))
+        .collect();
+    assert_eq!(replicas, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The equivalence pin, broadened: across seeds, fleet sizes, routing
+    /// policies and admission control, the event-driven core and the
+    /// lockstep oracle produce identical fleet reports (and therefore
+    /// identical per-request outcomes and routing traces).
+    #[test]
+    fn event_core_matches_lockstep_across_seeds_and_policies(
+        seed in 0u64..1000,
+        replicas in 1usize..5,
+        count in 1usize..80,
+        policy_pick in 0usize..4,
+        capped in 0usize..2,
+    ) {
+        let policy = [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::LeastKvLoad,
+            RouterPolicy::SloAware,
+        ][policy_pick];
+        let mut cfg = ClusterConfig::new(replicas, policy)
+            .with_engine(SimConfig::new(1.0, 8).with_kv_memory_fraction(0.05));
+        if capped == 1 {
+            cfg = cfg.with_queue_cap(2);
+        }
+        let mix = TenantMix::new(vec![
+            TenantClass::chatbot(7.0),
+            TenantClass::summarization(3.0),
+        ]);
+        let stream = mix.generate(count, seed);
+        let (_, ev_outcomes, ev_report) =
+            drive(cfg.with_drive_mode(DriveMode::EventDriven), &mix, stream.clone());
+        let (_, ls_outcomes, ls_report) =
+            drive(cfg.with_drive_mode(DriveMode::Lockstep), &mix, stream);
+        prop_assert_eq!(ev_outcomes, ls_outcomes);
+        prop_assert_eq!(ev_report, ls_report);
+    }
 
     /// Conservation across the fleet at every step: requests offered to
     /// the cluster are always exactly accounted for as completed, shed,
