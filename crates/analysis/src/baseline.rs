@@ -1,0 +1,278 @@
+//! The committed findings baseline: grandfathered debt, keyed to
+//! survive unrelated edits.
+//!
+//! Each entry is `(rule, path, hash-of-trimmed-source-line)` with a
+//! count, so findings stay matched when other edits move line numbers,
+//! but *disappear* (go stale) when the offending line itself is fixed
+//! or removed. [`Baseline::apply`] enforces both directions: findings
+//! beyond an entry's count are *new* (fail), and entries with fewer
+//! live findings than their count are *stale* (also fail, so the
+//! ledger is always an exact photograph of the remaining debt).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// Stable hash of one trimmed source line (splitmix64-folded bytes —
+/// the same mixer the simulator uses for block and session identities).
+pub fn hash_line(line: &str) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64;
+    for &b in line.trim().as_bytes() {
+        h = splitmix64(h ^ u64::from(b));
+    }
+    h
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One stale-baseline diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Rule of the stale entry.
+    pub rule: String,
+    /// Path of the stale entry.
+    pub path: String,
+    /// How many grandfathered findings the entry still allows.
+    pub allowed: usize,
+    /// How many actually fire now (strictly fewer).
+    pub live: usize,
+}
+
+impl std::fmt::Display for StaleEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stale baseline entry: {} {} allows {} finding(s) but only {} \
+             still fire — shrink or drop it (re-run with --write-baseline)",
+            self.rule, self.path, self.allowed, self.live
+        )
+    }
+}
+
+/// The parsed baseline: allowed finding counts per
+/// `(rule, path, line-hash)` key. A `BTreeMap` so rendering is
+/// deterministic — the lint dogfoods its own contract.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, u64), usize>,
+}
+
+impl Baseline {
+    /// An empty baseline (every finding is new).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Number of grandfathered findings across all entries.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+
+    /// Parses the baseline file format: one `rule path hash16 count`
+    /// line per entry; `#` comments and blank lines ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let [rule, path, hash, count] = fields[..] else {
+                return Err(format!(
+                    "baseline line {}: expected `rule path hash count`, got {line:?}",
+                    lineno + 1
+                ));
+            };
+            if !crate::rules::is_rule(rule) {
+                return Err(format!(
+                    "baseline line {}: unknown rule `{rule}`",
+                    lineno + 1
+                ));
+            }
+            let hash = u64::from_str_radix(hash, 16)
+                .map_err(|_| format!("baseline line {}: bad hash `{hash}`", lineno + 1))?;
+            let count: usize = count
+                .parse()
+                .ok()
+                .filter(|&c| c > 0)
+                .ok_or_else(|| format!("baseline line {}: bad count `{count}`", lineno + 1))?;
+            *entries
+                .entry((rule.to_string(), path.to_string(), hash))
+                .or_insert(0) += count;
+        }
+        Ok(Self { entries })
+    }
+
+    /// Renders the baseline file, sorted (stable across regenerations).
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# ador-lint baseline — grandfathered findings.\n\
+             # One entry per (rule, path, hash of the trimmed source line): count.\n\
+             # Regenerate with: cargo run -p ador-analysis --bin ador-lint -- --write-baseline\n",
+        );
+        for ((rule, path, hash), count) in &self.entries {
+            let _ = writeln!(out, "{rule} {path} {hash:016x} {count}");
+        }
+        out
+    }
+
+    /// Builds a baseline grandfathering exactly the given findings
+    /// (`hashes[i]` is the line hash of `findings[i]`).
+    pub fn from_findings(findings: &[Finding], hashes: &[u64]) -> Self {
+        let mut entries = BTreeMap::new();
+        for (f, &h) in findings.iter().zip(hashes) {
+            *entries
+                .entry((f.rule.to_string(), f.path.clone(), h))
+                .or_insert(0) += 1;
+        }
+        Self { entries }
+    }
+
+    /// Splits findings into (new, stale): findings beyond an entry's
+    /// count are new; entries whose count exceeds the live findings are
+    /// stale. Within one key, the earliest findings (by position) are
+    /// the grandfathered ones — deterministic either way, since all
+    /// matching findings share the same rule and line text.
+    pub fn apply(&self, findings: Vec<Finding>, hashes: &[u64]) -> (Vec<Finding>, Vec<StaleEntry>) {
+        let mut seen: BTreeMap<(String, String, u64), usize> = BTreeMap::new();
+        let mut fresh = Vec::new();
+        for (f, &h) in findings.into_iter().zip(hashes) {
+            let key = (f.rule.to_string(), f.path.clone(), h);
+            let allowed = self.entries.get(&key).copied().unwrap_or(0);
+            let used = seen.entry(key).or_insert(0);
+            *used += 1;
+            if *used > allowed {
+                fresh.push(f);
+            }
+        }
+        let mut stale = Vec::new();
+        for ((rule, path, hash), &allowed) in &self.entries {
+            let live = seen
+                .get(&(rule.clone(), path.clone(), *hash))
+                .copied()
+                .unwrap_or(0)
+                .min(allowed);
+            if live < allowed {
+                stale.push(StaleEntry {
+                    rule: rule.clone(),
+                    path: path.clone(),
+                    allowed,
+                    live,
+                });
+            }
+        }
+        (fresh, stale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            col: 1,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn hash_ignores_indentation_but_not_content() {
+        assert_eq!(hash_line("  x as f64"), hash_line("x as f64"));
+        assert_ne!(hash_line("x as f64"), hash_line("x as f32"));
+    }
+
+    #[test]
+    fn round_trips_through_the_file_format() {
+        let f = vec![
+            finding("as-cast", "crates/a/src/l.rs", 3),
+            finding("as-cast", "crates/a/src/l.rs", 9),
+            finding("panic", "crates/b/src/l.rs", 1),
+        ];
+        let hashes = vec![
+            hash_line("x as f64"),
+            hash_line("x as f64"),
+            hash_line("u()"),
+        ];
+        let base = Baseline::from_findings(&f, &hashes);
+        assert_eq!(base.total(), 3);
+        let reparsed = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(reparsed, base);
+        // Everything grandfathered: nothing new, nothing stale.
+        let (fresh, stale) = reparsed.apply(f, &hashes);
+        assert!(fresh.is_empty());
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn findings_beyond_the_count_are_new() {
+        let old = vec![finding("as-cast", "a.rs", 3)];
+        let h = vec![hash_line("x as f64")];
+        let base = Baseline::from_findings(&old, &h);
+        let now = vec![
+            finding("as-cast", "a.rs", 3),
+            finding("as-cast", "a.rs", 17), // a second identical line
+        ];
+        let (fresh, stale) = base.apply(now, &[hash_line("x as f64"), hash_line("x as f64")]);
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(fresh[0].line, 17, "the excess finding is the new one");
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_findings_leave_stale_entries() {
+        let old = vec![finding("as-cast", "a.rs", 3), finding("panic", "b.rs", 5)];
+        let h = vec![hash_line("x as f64"), hash_line("u()")];
+        let base = Baseline::from_findings(&old, &h);
+        // The panic was fixed; only the cast remains.
+        let (fresh, stale) = base.apply(
+            vec![finding("as-cast", "a.rs", 3)],
+            &[hash_line("x as f64")],
+        );
+        assert!(fresh.is_empty());
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "panic");
+        assert_eq!((stale[0].allowed, stale[0].live), (1, 0));
+    }
+
+    #[test]
+    fn editing_the_line_both_fires_and_goes_stale() {
+        // Changing the offending line's text changes its hash: the old
+        // entry is stale and the finding is new — the contributor must
+        // consciously re-baseline or fix.
+        let base =
+            Baseline::from_findings(&[finding("as-cast", "a.rs", 3)], &[hash_line("x as f64")]);
+        let (fresh, stale) = base.apply(
+            vec![finding("as-cast", "a.rs", 3)],
+            &[hash_line("y as f64")],
+        );
+        assert_eq!(fresh.len(), 1);
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(Baseline::parse("as-cast a.rs zzzz 1").is_err());
+        assert!(Baseline::parse("as-cast a.rs 00ff 0").is_err());
+        assert!(Baseline::parse("no-such-rule a.rs 00ff 1").is_err());
+        assert!(Baseline::parse("too few").is_err());
+        assert!(Baseline::parse("# comment\n\n").unwrap().total() == 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `ador-lint` command-line entry point.
+//!
+//! ```text
+//! cargo run -p ador-analysis --bin ador-lint -- --workspace-root .
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings or stale baseline entries,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ador_analysis::{lint_workspace, Baseline, RULES};
+
+const USAGE: &str = "\
+ador-lint — static analysis for the ADOR simulator's determinism and
+panic-safety contracts.
+
+USAGE:
+    ador-lint [OPTIONS]
+
+OPTIONS:
+    --workspace-root <path>   Workspace to lint (default: .)
+    --baseline <path>         Baseline file (default: <root>/lint-baseline.txt)
+    --no-baseline             Ignore the baseline: report every finding
+    --write-baseline          Rewrite the baseline to grandfather all
+                              current findings, then exit clean
+    --json                    Emit the machine-readable JSON report
+    --list                    List the rules and exit
+    -h, --help                This help
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ador-lint: error: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline = false;
+    let mut json = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace-root" => {
+                root = PathBuf::from(args.next().ok_or("--workspace-root needs a path")?);
+            }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--no-baseline" => no_baseline = true,
+            "--write-baseline" => write_baseline = true,
+            "--json" => json = true,
+            "--list" => {
+                for rule in RULES {
+                    println!("{:<22} {}", rule.id, rule.summary);
+                }
+                return Ok(true);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+    let base = if no_baseline || write_baseline {
+        Baseline::empty()
+    } else if baseline_path.exists() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("reading {}: {e}", baseline_path.display()))?;
+        Baseline::parse(&text)?
+    } else {
+        Baseline::empty()
+    };
+
+    let (report, all, hashes) =
+        lint_workspace(&root, &base).map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if write_baseline {
+        let fresh = Baseline::from_findings(&all, &hashes);
+        std::fs::write(&baseline_path, fresh.render())
+            .map_err(|e| format!("writing {}: {e}", baseline_path.display()))?;
+        println!(
+            "ador-lint: wrote {} ({} grandfathered finding(s))",
+            baseline_path.display(),
+            fresh.total()
+        );
+        return Ok(true);
+    }
+
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    Ok(report.clean())
+}

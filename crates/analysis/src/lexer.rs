@@ -1,0 +1,473 @@
+//! A small, self-contained Rust lexer for the lint pass.
+//!
+//! The rules in [`crate::rules`] pattern-match token sequences, so the
+//! lexer's only job is to split source text into identifiers, literals
+//! and punctuation *correctly enough that nothing inside a comment or
+//! string literal can masquerade as code*. It understands:
+//!
+//! - line comments (`//`, `///`, `//!`) and nested block comments;
+//! - string, raw-string (`r"…"`, `r#"…"#`, any guard depth), byte-string
+//!   and byte-raw-string literals, with escapes;
+//! - char literals vs. lifetimes (`'a'` vs. `'a`);
+//! - raw identifiers (`r#type`);
+//! - numeric literals (enough to skip them atomically — the rules never
+//!   inspect their value).
+//!
+//! Doc comments are comments here, so code shown in rustdoc examples is
+//! invisible to the rules (doctests are narrative, not simulator code).
+//! Comments are returned separately because the suppression syntax
+//! (`// ador-lint: allow(rule) — reason`) and the `#[allow]`
+//! justification rule both need them.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules do not distinguish).
+    Ident,
+    /// A lifetime such as `'a` (without the quote in [`Tok::text`]).
+    Lifetime,
+    /// Any string-like literal (string, raw string, byte string, char).
+    Literal,
+    /// A numeric literal.
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token of the input, with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Punct`] this is one character;
+    /// for literals it is the raw source slice including quotes.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// One comment (line or block), with the 1-based line it starts on.
+/// Block comments spanning several lines are recorded once, at their
+/// first line; the suppression syntax is line-comment-based so that is
+/// the only anchor the rules need.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` introducer.
+    pub text: String,
+    /// 1-based starting line.
+    pub line: u32,
+}
+
+/// A lexed source file: the token stream plus the comment side-channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All non-comment tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source`. Unterminated literals or comments simply end the
+/// token stream at end-of-input — the lint runs on code the compiler
+/// already accepted, so error recovery is not a goal.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(source: &'s str) -> Self {
+        Self {
+            bytes: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Lexed::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek(0) {
+            let (line, col, start) = (self.line, self.col, self.pos);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'r' | b'b' if self.raw_or_byte_literal(line, col) => {}
+                b'"' => {
+                    self.string_literal();
+                    self.push_literal(start, line, col);
+                }
+                b'\'' => self.char_or_lifetime(line, col),
+                b'0'..=b'9' => {
+                    self.number();
+                    self.push(TokKind::Num, start, line, col);
+                }
+                b if is_ident_start(b) => {
+                    self.ident();
+                    self.push(TokKind::Ident, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, line: u32, col: u32) {
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.toks.push(Tok {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn push_literal(&mut self, start: usize, line: u32, col: u32) {
+        self.push(TokKind::Literal, start, line, col);
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump(); // consume `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.out.comments.push(Comment { text, line });
+    }
+
+    /// Handles `r"…"`, `r#…#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns false if the `r`/`b` at the cursor is just an ordinary
+    /// identifier start (the caller then lexes it as an ident).
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let start = self.pos;
+        let mut at = self.pos;
+        if self.bytes.get(at) == Some(&b'b') {
+            at += 1;
+        }
+        let raw = self.bytes.get(at) == Some(&b'r');
+        if raw {
+            at += 1;
+        }
+        let mut guards = 0usize;
+        while self.bytes.get(at) == Some(&b'#') {
+            guards += 1;
+            at += 1;
+        }
+        match self.bytes.get(at) {
+            // Raw identifier `r#type`: lex as an ident (without guards).
+            _ if raw && guards == 1 && self.bytes.get(at).is_some_and(|&b| is_ident_start(b)) => {
+                self.bump(); // r
+                self.bump(); // #
+                self.ident();
+                self.push(TokKind::Ident, start, line, col);
+                true
+            }
+            Some(b'"') if raw => {
+                while self.pos < at {
+                    self.bump();
+                }
+                self.raw_string_body(guards);
+                self.push_literal(start, line, col);
+                true
+            }
+            Some(b'"') if guards == 0 && at > start => {
+                // b"…": byte string with ordinary escapes.
+                while self.pos < at {
+                    self.bump();
+                }
+                self.string_literal();
+                self.push_literal(start, line, col);
+                true
+            }
+            Some(b'\'') if guards == 0 && at == start + 1 => {
+                // b'…': byte char literal.
+                self.bump(); // b
+                self.char_literal_body();
+                self.push_literal(start, line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Consumes a raw-string body starting at the opening quote, with
+    /// `guards` trailing `#` characters required to close it.
+    fn raw_string_body(&mut self, guards: usize) {
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            if b == b'"' {
+                let closed = (0..guards).all(|i| self.peek(i) == Some(b'#'));
+                if closed {
+                    for _ in 0..guards {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// At a `'`: either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self, line: u32, col: u32) {
+        let start = self.pos;
+        // `'x'` is a char; `'x` followed by a non-quote is a lifetime.
+        // `'a'` (ident-start then a closing quote) is a char literal;
+        // `'a` followed by anything else is a lifetime. `'_'` is the
+        // (valid) underscore char literal, `'_` the inferred lifetime.
+        let is_lifetime = self.peek(1).is_some_and(is_ident_start) && self.peek(2) != Some(b'\'');
+        if is_lifetime {
+            self.bump(); // quote
+            let ident_start = self.pos;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            let text = String::from_utf8_lossy(&self.bytes[ident_start..self.pos]).into_owned();
+            self.out.toks.push(Tok {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            });
+        } else {
+            self.char_literal_body();
+            self.push_literal(start, line, col);
+        }
+    }
+
+    /// Consumes a char literal starting at the opening quote.
+    fn char_literal_body(&mut self) {
+        self.bump(); // opening quote
+        if self.peek(0) == Some(b'\\') {
+            self.bump();
+            self.bump(); // the escaped character (or escape kind)
+                         // `\u{…}` and friends: consume through the closing quote.
+            while let Some(b) = self.peek(0) {
+                if b == b'\'' {
+                    break;
+                }
+                self.bump();
+            }
+        } else {
+            // One (possibly multi-byte) character.
+            self.bump();
+            while self.peek(0).is_some_and(|b| b >= 0x80) {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.bump();
+        }
+    }
+
+    fn number(&mut self) {
+        // Digits, underscores, radix prefixes, exponents, float dots and
+        // type suffixes — consumed greedily; `1.2e-3f64` is one token.
+        // A trailing `-`/`+` is only part of the number right after an
+        // exponent marker.
+        let mut prev = 0u8;
+        while let Some(b) = self.peek(0) {
+            let take = match b {
+                b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' => true,
+                b'.' => self.peek(1).is_none_or(|n| n != b'.'), // not `0..n`
+                b'+' | b'-' => matches!(prev, b'e' | b'E'),
+                _ => false,
+            };
+            if !take {
+                break;
+            }
+            prev = b;
+            self.bump();
+        }
+    }
+
+    fn ident(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block */
+            let s = "HashMap::new()";
+            let r = r#"HashMap "quoted" here"#;
+            let b = b"HashMap";
+            /// HashMap in a doc example: `map.iter()`
+            let real = 1;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"real".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 3);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }").toks;
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Literal).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quotes_and_unicode_escapes() {
+        let toks = lex(r#"let c = '\''; let u = '\u{1F600}'; let s = "a\"b";"#).toks;
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lits, vec![r"'\''", r"'\u{1F600}'", r#""a\"b""#]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let ids = idents("let r#type = 1; let rate = r * 2;");
+        assert!(ids.contains(&"r#type".to_string()));
+        assert!(ids.contains(&"rate".to_string()));
+        assert!(ids.contains(&"r".to_string()));
+    }
+
+    #[test]
+    fn numbers_are_single_tokens() {
+        let toks = lex("let x = 1.5e-3f64 + 0xFF_u32; for i in 0..10 {}").toks;
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3f64", "0xFF_u32", "0", "10"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_columns() {
+        let toks = lex("ab\n  cd").toks;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,501 @@
+//! The lint rules: token-pattern checks over one lexed file.
+//!
+//! Rules are deliberately lexical — no type information, no name
+//! resolution. That keeps the pass dependency-free and fast, at the cost
+//! of heuristics (e.g. [`map-iter`](RULES) tracks identifiers *declared*
+//! as `HashMap`/`HashSet` in the same file). The contract being enforced
+//! is architectural, not type-level: the sim crates (`ador-serving`,
+//! `ador-cluster`, `ador-spec`) must stay replay-deterministic and
+//! panic-free in library code, so the checks only need to catch the
+//! constructs that can violate that, not to understand arbitrary Rust.
+//!
+//! Scopes:
+//!
+//! - **determinism** rules fire in sim-crate files only, *including*
+//!   their test modules (a test that iterates a `HashMap` asserts on an
+//!   order the language does not define);
+//! - **panic-safety** and **cast** rules fire in sim-crate library code
+//!   only (test modules, `tests/`, `benches/` and `examples/` are free
+//!   to unwrap);
+//! - **hygiene** rules fire everywhere the lint looks.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// Where a file sits relative to the rule scopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FileClass {
+    /// File belongs to a deterministic-simulation crate
+    /// (`crates/serving`, `crates/cluster`, `crates/spec`).
+    pub sim: bool,
+    /// File is wholly test/bench/example code (under `tests/`,
+    /// `benches/` or `examples/`). `#[cfg(test)]` modules inside
+    /// library files are detected separately.
+    pub test_file: bool,
+}
+
+/// One lint finding, before suppression/baseline filtering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the hazard.
+    pub message: String,
+}
+
+/// Static description of one rule, for `--list` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule identifier, as used in suppression comments and baselines.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows, in severity-then-name order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "wall-clock",
+        summary: "no Instant/SystemTime reads in sim crates: wall time is \
+                  nondeterministic; use the sim clock (Seconds)",
+    },
+    RuleInfo {
+        id: "thread-rng",
+        summary: "no thread_rng/from_entropy/rand::random in sim crates: \
+                  every RNG must be seeded for replay determinism",
+    },
+    RuleInfo {
+        id: "unordered-collection",
+        summary: "no HashMap/HashSet in sim crates: iteration order is \
+                  unspecified; use BTreeMap/BTreeSet or annotate an \
+                  order-insensitive use",
+    },
+    RuleInfo {
+        id: "map-iter",
+        summary: "iteration over a HashMap/HashSet-typed binding in a sim \
+                  crate: the visit order is unspecified and can break \
+                  replay equality",
+    },
+    RuleInfo {
+        id: "panic",
+        summary: "no unwrap/expect/panic!/indexing-by-literal in sim-crate \
+                  library code: return a typed SimError or annotate the \
+                  documented invariant",
+    },
+    RuleInfo {
+        id: "as-cast",
+        summary: "numeric `as` cast in sim-crate library code: prefer the \
+                  typed conversions in ador-units (silent truncation on \
+                  token/time quantities)",
+    },
+    RuleInfo {
+        id: "allow-no-reason",
+        summary: "#[allow(...)] or ador-lint suppression without a \
+                  justification comment",
+    },
+    RuleInfo {
+        id: "unused-allow",
+        summary: "an ador-lint suppression comment that suppresses \
+                  nothing (stale after a fix; delete it)",
+    },
+];
+
+/// True if `id` names a known rule.
+pub fn is_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+const NUMERIC_TYPES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+/// Runs every rule over one lexed file, returning raw findings in token
+/// order. Suppression comments and baselines are applied by the caller
+/// ([`crate::lint_file`]), not here.
+pub fn check(class: FileClass, path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let toks = &lexed.toks;
+    let mut out = Vec::new();
+    let test_regions = if class.test_file {
+        vec![(0, toks.len())]
+    } else {
+        test_regions(toks)
+    };
+    let in_test = |i: usize| test_regions.iter().any(|&(a, b)| i >= a && i < b);
+    let finding = |tok: &Tok, rule: &'static str, message: String| Finding {
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        rule,
+        message,
+    };
+
+    let unordered = if class.sim {
+        unordered_bindings(toks)
+    } else {
+        Vec::new()
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+
+        // --- determinism (sim crates, tests included) ---
+        if class.sim && t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "Instant" | "SystemTime" => out.push(finding(
+                    t,
+                    "wall-clock",
+                    format!(
+                        "`{}` reads wall-clock time; sim code must use the \
+                         deterministic event clock (`Seconds`)",
+                        t.text
+                    ),
+                )),
+                "thread_rng" | "from_entropy" => out.push(finding(
+                    t,
+                    "thread-rng",
+                    format!(
+                        "`{}` draws OS entropy; sim code must seed every \
+                         RNG (`StdRng::seed_from_u64`)",
+                        t.text
+                    ),
+                )),
+                "random"
+                    if i >= 3
+                        && toks[i - 1].is_punct(':')
+                        && toks[i - 2].is_punct(':')
+                        && toks[i - 3].is_ident("rand") =>
+                {
+                    out.push(finding(
+                        t,
+                        "thread-rng",
+                        "`rand::random` draws OS entropy; sim code must seed \
+                         every RNG (`StdRng::seed_from_u64`)"
+                            .to_string(),
+                    ));
+                }
+                "HashMap" | "HashSet" => out.push(finding(
+                    t,
+                    "unordered-collection",
+                    format!(
+                        "`{}` has unspecified iteration order; use \
+                         `BTreeMap`/`BTreeSet` (or annotate an \
+                         order-insensitive use)",
+                        t.text
+                    ),
+                )),
+                m if ITER_METHODS.contains(&m)
+                    && i >= 2
+                    && toks[i - 1].is_punct('.')
+                    && toks[i - 2].kind == TokKind::Ident
+                    && unordered.contains(&toks[i - 2].text)
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                {
+                    out.push(finding(
+                        t,
+                        "map-iter",
+                        format!(
+                            "`{}.{m}()` visits an unordered collection in \
+                             unspecified order; replay equality is not \
+                             guaranteed",
+                            toks[i - 2].text
+                        ),
+                    ));
+                }
+                "for" => {
+                    if let Some(bind) = for_loop_over(toks, i, &unordered) {
+                        out.push(finding(
+                            t,
+                            "map-iter",
+                            format!(
+                                "`for … in {bind}` visits an unordered \
+                                 collection in unspecified order; replay \
+                                 equality is not guaranteed"
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // --- panic-safety and casts (sim crates, library code only) ---
+        if class.sim && !in_test(i) {
+            if t.kind == TokKind::Ident {
+                match t.text.as_str() {
+                    "unwrap" | "expect"
+                        if i >= 1
+                            && toks[i - 1].is_punct('.')
+                            && toks.get(i + 1).is_some_and(|n| n.is_punct('(')) =>
+                    {
+                        out.push(finding(
+                            t,
+                            "panic",
+                            format!(
+                                "`.{}()` can panic; return a typed error, or \
+                                 annotate the documented invariant",
+                                t.text
+                            ),
+                        ));
+                    }
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                        if toks.get(i + 1).is_some_and(|n| n.is_punct('!')) =>
+                    {
+                        out.push(finding(
+                            t,
+                            "panic",
+                            format!("`{}!` aborts the simulation; return a typed error", t.text),
+                        ));
+                    }
+                    "as" if toks
+                        .get(i + 1)
+                        .is_some_and(|n| NUMERIC_TYPES.contains(&n.text.as_str())) =>
+                    {
+                        out.push(finding(
+                            t,
+                            "as-cast",
+                            format!(
+                                "`as {}` silently truncates/rounds; prefer the \
+                                 typed conversions in `ador-units`",
+                                toks[i + 1].text
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            // Indexing by an integer literal: `xs[0]`. Postfix `[` only —
+            // a `[` after `:`/`=`/`(` is a type or array literal.
+            if t.is_punct('[')
+                && i >= 1
+                && (toks[i - 1].kind == TokKind::Ident
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'))
+                && toks.get(i + 1).is_some_and(|n| n.kind == TokKind::Num)
+                && toks.get(i + 2).is_some_and(|n| n.is_punct(']'))
+            {
+                out.push(finding(
+                    t,
+                    "panic",
+                    format!(
+                        "indexing by literal `[{}]` panics when out of \
+                         bounds; use `.get({})` or a destructuring match",
+                        toks[i + 1].text,
+                        toks[i + 1].text
+                    ),
+                ));
+            }
+        }
+
+        // --- hygiene (everywhere) ---
+        if t.is_punct('#') {
+            if let Some(allow_tok) = allow_attr_at(toks, i) {
+                if !has_comment_near(lexed, allow_tok.line) {
+                    out.push(finding(
+                        allow_tok,
+                        "allow-no-reason",
+                        "`#[allow(…)]` without a justification comment on \
+                         the same or preceding line"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Identifiers declared with a `HashMap`/`HashSet` type or initializer
+/// anywhere in the file: struct fields and `let` ascriptions
+/// (`name: [path::]HashMap<…>`) and constructor bindings
+/// (`name = [path::]HashMap::new()` / `with_capacity`).
+fn unordered_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let after = match toks.get(i + 1) {
+            Some(t) if t.is_punct(':') && !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) => {
+                i + 2
+            }
+            Some(t) if t.is_punct('=') => i + 2,
+            _ => continue,
+        };
+        if path_ends_in_unordered(toks, after) && !out.contains(&toks[i].text) {
+            out.push(toks[i].text.clone());
+        }
+    }
+    out
+}
+
+/// True if the tokens at `i` start a (possibly `std::collections::`-
+/// qualified) `HashMap`/`HashSet` path.
+fn path_ends_in_unordered(toks: &[Tok], mut i: usize) -> bool {
+    for _ in 0..8 {
+        match toks.get(i) {
+            Some(t) if t.is_ident("HashMap") || t.is_ident("HashSet") => return true,
+            Some(t)
+                if t.kind == TokKind::Ident
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|b| b.is_punct(':')) =>
+            {
+                i += 3;
+            }
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// If the `for` at `toks[i]` loops directly over an unordered binding
+/// (`for … in [&][mut] [self.]name {`), returns the binding name.
+fn for_loop_over(toks: &[Tok], i: usize, unordered: &[String]) -> Option<String> {
+    // Find the `in` within a short window (patterns are small).
+    let in_at = (i + 1..toks.len().min(i + 16)).find(|&j| toks[j].is_ident("in"))?;
+    let mut j = in_at + 1;
+    while toks
+        .get(j)
+        .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+    {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_ident("self"))
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('.'))
+    {
+        j += 2;
+    }
+    let name = toks.get(j)?;
+    if name.kind == TokKind::Ident
+        && unordered.contains(&name.text)
+        && toks.get(j + 1).is_some_and(|t| t.is_punct('{'))
+    {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// If the `#` at `toks[i]` opens an `#[allow(…)]` / `#![allow(…)]`
+/// attribute, returns the `allow` token.
+fn allow_attr_at(toks: &[Tok], i: usize) -> Option<&Tok> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !toks.get(j).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let name = toks.get(j + 1)?;
+    (name.is_ident("allow") && toks.get(j + 2).is_some_and(|t| t.is_punct('('))).then_some(name)
+}
+
+/// True if any comment sits on `line` or the line above it.
+fn has_comment_near(lexed: &Lexed, line: u32) -> bool {
+    lexed
+        .comments
+        .iter()
+        .any(|c| c.line == line || c.line + 1 == line)
+}
+
+/// Token index ranges covered by `#[cfg(test)]` / `#[test]` items.
+///
+/// After a test attribute, any further attributes are skipped, then the
+/// item's first brace-balanced `{…}` block is the region; an item ending
+/// in `;` before any `{` (e.g. `#[cfg(test)] use …;`) covers nothing
+/// beyond itself.
+fn test_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let Some((is_test, after_attr)) = attr_at(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes on the same item.
+        let mut j = after_attr;
+        while let Some((_, next)) = attr_at(toks, j) {
+            j = next;
+        }
+        // The item's body: first `{` before any top-level `;`.
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            let mut depth = 0usize;
+            let start = j;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            regions.push((start, j + 1));
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+/// If `toks[i]` opens an attribute, returns `(is_test_attr, index past
+/// the closing `]`)`. A test attribute is `#[test]`, `#[cfg(test)]` or
+/// any `cfg` attribute mentioning `test` (e.g. `#[cfg(all(test, …))]`).
+fn attr_at(toks: &[Tok], i: usize) -> Option<(bool, usize)> {
+    if !toks.get(i)?.is_punct('#') {
+        return None;
+    }
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if !toks.get(j)?.is_punct('[') {
+        return None;
+    }
+    let mut depth = 0usize;
+    let body_start = j + 1;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let body = &toks[body_start..j.min(toks.len())];
+    let is_test = match body.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    };
+    Some((is_test, (j + 1).min(toks.len())))
+}

@@ -1,0 +1,16 @@
+//! Fixture for the `allow-no-reason` rule. The first attribute below
+//! must stay comment-free on its line and the line above it.
+
+fn padding() {}
+
+#[allow(dead_code)]
+fn bare() {}
+
+// justification: fixture demonstrates a properly commented allow
+#[allow(dead_code)]
+fn justified() {}
+
+fn malformed_suppression() {
+    // ador-lint: allow(panic)
+    let _x: u32 = 0;
+}

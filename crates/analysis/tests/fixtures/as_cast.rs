@@ -1,0 +1,23 @@
+//! Fixture for the `as-cast` rule. Deliberately contains findings; the
+//! test module at the bottom must stay finding-free.
+
+fn bad(x: u64) -> f64 {
+    x as f64
+}
+
+fn bad_narrowing(x: f64) -> usize {
+    x as usize
+}
+
+fn suppressed(x: u64) -> u32 {
+    x as u32 // ador-lint: allow(as-cast) — fixture: masked to the low 32 bits on purpose
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn casts_are_fine_in_tests() {
+        let x = 1u64 as f64;
+        assert!(x > 0.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Fixture for the `map-iter` rule. Deliberately contains findings
+//! (including the `unordered-collection` findings from the bindings the
+//! rule tracks — tests filter by rule id).
+
+struct Roster {
+    // ador-lint: allow(unordered-collection) — fixture: field exists to exercise map-iter
+    members: HashMap<u64, u32>,
+}
+
+fn field_iteration(r: &Roster) {
+    for _k in r.members.keys() {}
+}
+
+fn local_iteration() {
+    // ador-lint: allow(unordered-collection) — fixture: binding exists to exercise map-iter
+    let scores: HashMap<u64, u32> = HashMap::new();
+    for _pair in scores {}
+}
+
+fn method_chain() {
+    // ador-lint: allow(unordered-collection) — fixture: binding exists to exercise map-iter
+    let seen = HashSet::new();
+    let _v: Vec<u64> = seen.iter().copied().collect();
+}
+
+fn suppressed(r: &Roster) {
+    // ador-lint: allow(map-iter) — fixture: reduced with a commutative fold
+    let _n: u32 = r.members.values().sum();
+}

@@ -1,0 +1,31 @@
+//! Fixture for the `panic` rule. Deliberately contains findings; the
+//! test module at the bottom must stay finding-free.
+
+fn bad(x: Option<u32>, xs: &[u32]) -> u32 {
+    let a = x.unwrap();
+    let b = xs[0];
+    if a == 0 {
+        panic!("zero");
+    }
+    a + b
+}
+
+fn bad_expect(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn suppressed(x: Option<u32>) -> u32 {
+    // ador-lint: allow(panic) — fixture: invariant documented at the call site
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+        let xs = [1u32, 2];
+        assert_eq!(xs[0], 1);
+    }
+}

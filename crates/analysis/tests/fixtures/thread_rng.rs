@@ -1,0 +1,11 @@
+//! Fixture for the `thread-rng` rule. Deliberately contains findings.
+
+fn bad() {
+    let mut _rng = thread_rng();
+    let _r: f64 = rand::random();
+    let _rng2 = StdRng::from_entropy();
+}
+
+fn suppressed() {
+    let mut _rng = thread_rng(); // ador-lint: allow(thread-rng) — fixture: entropy wanted here
+}

@@ -1,0 +1,13 @@
+//! Fixture for the `unordered-collection` rule. Deliberately contains
+//! findings.
+
+use std::collections::HashMap;
+
+fn bad() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+fn suppressed() {
+    // ador-lint: allow(unordered-collection) — fixture: order-insensitive counter map
+    let _m: HashMap<u32, u32> = HashMap::new();
+}

@@ -1,0 +1,7 @@
+//! Fixture for the `unused-allow` rule: a valid suppression whose
+//! finding was refactored away.
+
+fn clean() -> u32 {
+    // ador-lint: allow(panic) — stale: the unwrap below was refactored away
+    42
+}

@@ -1,0 +1,12 @@
+//! Fixture for the `wall-clock` rule. Deliberately contains findings;
+//! the workspace walk skips `fixtures/` directories.
+
+fn bad() {
+    let _t = Instant::now();
+    let _s = SystemTime::now();
+}
+
+fn suppressed() {
+    // ador-lint: allow(wall-clock) — fixture: measuring host time deliberately
+    let _t = Instant::now();
+}

@@ -1,0 +1,238 @@
+//! Fixture-driven rule tests.
+//!
+//! Every rule has a fixture under `tests/fixtures/` with positive cases
+//! (the rule fires, at pinned lines) and suppressed cases (a reasoned
+//! `ador-lint: allow(…)` silences it). The fixtures deliberately
+//! contain findings, which is why the workspace walk skips `fixtures/`
+//! directories. Also here: the seeded-regression demonstration the CI
+//! gate relies on, the baseline lifecycle, and the JSON self-validation
+//! that parses `render_json` output back with `ador-bench::json`.
+
+// tests may unwrap: a failed unwrap IS the failure signal
+#![allow(clippy::unwrap_used)]
+
+use ador_analysis::baseline::StaleEntry;
+use ador_analysis::{hash_line, lint_file, Baseline, FileClass, Finding, Report, RULES};
+use ador_bench::json::{parse, Value};
+
+const SIM: FileClass = FileClass {
+    sim: true,
+    test_file: false,
+};
+
+/// All fixtures, paired with the rule they exercise.
+const FIXTURES: &[(&str, &str)] = &[
+    ("wall-clock", include_str!("fixtures/wall_clock.rs")),
+    ("thread-rng", include_str!("fixtures/thread_rng.rs")),
+    (
+        "unordered-collection",
+        include_str!("fixtures/unordered_collection.rs"),
+    ),
+    ("map-iter", include_str!("fixtures/map_iter.rs")),
+    ("panic", include_str!("fixtures/panic.rs")),
+    ("as-cast", include_str!("fixtures/as_cast.rs")),
+    (
+        "allow-no-reason",
+        include_str!("fixtures/allow_no_reason.rs"),
+    ),
+    ("unused-allow", include_str!("fixtures/unused_allow.rs")),
+];
+
+fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| f.line)
+        .collect()
+}
+
+/// Asserts every suppression in the fixture was used and well-formed
+/// (fixtures that *test* those rules opt out).
+fn assert_suppressions_clean(findings: &[Finding]) {
+    let hygiene = findings
+        .iter()
+        .filter(|f| f.rule == "unused-allow" || f.rule == "allow-no-reason")
+        .count();
+    assert_eq!(
+        hygiene, 0,
+        "fixture suppressions must all land: {findings:?}"
+    );
+}
+
+#[test]
+fn wall_clock_fires_and_suppresses() {
+    let found = lint_file(SIM, "wall_clock.rs", FIXTURES[0].1);
+    assert_eq!(lines_for(&found, "wall-clock"), vec![5, 6]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn thread_rng_fires_and_suppresses() {
+    let found = lint_file(SIM, "thread_rng.rs", FIXTURES[1].1);
+    assert_eq!(lines_for(&found, "thread-rng"), vec![4, 5, 6]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 3, "{found:?}");
+}
+
+#[test]
+fn unordered_collection_fires_and_suppresses() {
+    let found = lint_file(SIM, "unordered_collection.rs", FIXTURES[2].1);
+    assert_eq!(lines_for(&found, "unordered-collection"), vec![4, 6, 7]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 3, "{found:?}");
+}
+
+#[test]
+fn map_iter_fires_and_suppresses() {
+    let found = lint_file(SIM, "map_iter.rs", FIXTURES[3].1);
+    // Field iteration, a direct `for … in map`, and a method chain.
+    assert_eq!(lines_for(&found, "map-iter"), vec![11, 17, 23]);
+    // The bindings' own unordered-collection findings are all annotated.
+    assert_eq!(lines_for(&found, "unordered-collection"), Vec::<u32>::new());
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 3, "{found:?}");
+}
+
+#[test]
+fn panic_fires_in_library_code_only() {
+    let found = lint_file(SIM, "panic.rs", FIXTURES[4].1);
+    // unwrap, indexing-by-literal, panic!, expect — and nothing from the
+    // `#[cfg(test)]` module at the bottom.
+    assert_eq!(lines_for(&found, "panic"), vec![5, 6, 8, 14]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 4, "{found:?}");
+}
+
+#[test]
+fn as_cast_fires_in_library_code_only() {
+    let found = lint_file(SIM, "as_cast.rs", FIXTURES[5].1);
+    assert_eq!(lines_for(&found, "as-cast"), vec![5, 9]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn allow_no_reason_fires_on_bare_attr_and_malformed_suppression() {
+    let found = lint_file(SIM, "allow_no_reason.rs", FIXTURES[6].1);
+    // The bare `#[allow]` and the reasonless suppression; the justified
+    // `#[allow]` stays silent.
+    assert_eq!(lines_for(&found, "allow-no-reason"), vec![6, 14]);
+    assert_eq!(found.len(), 2, "{found:?}");
+}
+
+#[test]
+fn unused_allow_fires_on_stale_suppression() {
+    let found = lint_file(SIM, "unused_allow.rs", FIXTURES[7].1);
+    assert_eq!(lines_for(&found, "unused-allow"), vec![5]);
+    assert_eq!(found.len(), 1, "{found:?}");
+}
+
+#[test]
+fn every_rule_has_a_fixture_that_fires_it() {
+    for info in RULES {
+        let covered = FIXTURES.iter().any(|(rule, src)| {
+            *rule == info.id
+                && lint_file(SIM, "fixture.rs", src)
+                    .iter()
+                    .any(|f| f.rule == info.id)
+        });
+        assert!(covered, "rule `{}` has no firing fixture", info.id);
+    }
+}
+
+/// The CI gate's contract: planting a determinism hazard in previously
+/// clean code produces a finding the committed baseline cannot absorb.
+#[test]
+fn seeded_regression_fails_the_gate() {
+    let clean = "fn step(now: Seconds) -> Seconds {\n    now\n}\n";
+    assert!(lint_file(SIM, "sim.rs", clean).is_empty());
+
+    let seeded =
+        "fn step(now: Seconds) -> Seconds {\n    let _wall = Instant::now();\n    now\n}\n";
+    let found = lint_file(SIM, "sim.rs", seeded);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "wall-clock");
+
+    let hashes = vec![hash_line("let _wall = Instant::now();")];
+    let (fresh, stale) = Baseline::empty().apply(found, &hashes);
+    assert_eq!(fresh.len(), 1, "a seeded hazard must surface as new");
+    assert!(stale.is_empty());
+}
+
+/// The baseline lifecycle over a real fixture: grandfathered findings
+/// are absorbed; fixing one leaves a stale entry that fails the run.
+#[test]
+fn fixing_a_grandfathered_finding_goes_stale() {
+    let src = FIXTURES[5].1; // as_cast.rs
+    let hashes_of = |src: &str, findings: &[Finding]| -> Vec<u64> {
+        let lines: Vec<&str> = src.lines().collect();
+        findings
+            .iter()
+            .map(|f| hash_line(lines[f.line as usize - 1]))
+            .collect()
+    };
+
+    let findings = lint_file(SIM, "as_cast.rs", src);
+    let hashes = hashes_of(src, &findings);
+    let base = Baseline::from_findings(&findings, &hashes);
+    let reparsed = Baseline::parse(&base.render()).unwrap();
+    let (fresh, stale) = reparsed.apply(findings, &hashes);
+    assert!(fresh.is_empty() && stale.is_empty(), "fully grandfathered");
+
+    // "Fix" the narrowing cast: its entry must go stale.
+    let fixed = src.replace("x as usize", "0");
+    let f2 = lint_file(SIM, "as_cast.rs", &fixed);
+    let h2 = hashes_of(&fixed, &f2);
+    let (fresh, stale) = reparsed.apply(f2, &h2);
+    assert!(fresh.is_empty());
+    assert_eq!(stale.len(), 1, "{stale:?}");
+    assert_eq!(stale[0].rule, "as-cast");
+    assert_eq!((stale[0].allowed, stale[0].live), (1, 0));
+}
+
+/// `render_json` output must parse with `ador-bench::json` — the two
+/// hand-rolled ends of the repo's JSON story pin each other.
+#[test]
+fn json_report_parses_with_ador_bench() {
+    let report = Report {
+        findings: vec![Finding {
+            path: "crates/serving/src/engine.rs".to_string(),
+            line: 42,
+            col: 7,
+            rule: "panic",
+            message: "quote: \"x\", backslash: \\, and a\nnewline".to_string(),
+        }],
+        stale: vec![StaleEntry {
+            rule: "as-cast".to_string(),
+            path: "crates/spec/src/lib.rs".to_string(),
+            allowed: 2,
+            live: 1,
+        }],
+        files: 120,
+        baselined: 53,
+    };
+    let doc = parse(&report.render_json()).expect("ador-lint JSON must parse");
+    assert_eq!(doc.get("name").and_then(Value::as_str), Some("ador-lint"));
+    assert_eq!(doc.get("files").and_then(Value::as_f64), Some(120.0));
+    assert_eq!(doc.get("baselined").and_then(Value::as_f64), Some(53.0));
+    assert_eq!(doc.get("clean").and_then(Value::as_bool), Some(false));
+
+    let findings = doc.get("findings").and_then(Value::as_array).unwrap();
+    assert_eq!(findings.len(), 1);
+    assert_eq!(
+        findings[0].get("rule").and_then(Value::as_str),
+        Some("panic")
+    );
+    assert_eq!(findings[0].get("line").and_then(Value::as_f64), Some(42.0));
+    assert_eq!(
+        findings[0].get("message").and_then(Value::as_str),
+        Some("quote: \"x\", backslash: \\, and a\nnewline"),
+        "escaping must survive the round trip"
+    );
+
+    let stale = doc.get("stale_baseline").and_then(Value::as_array).unwrap();
+    assert_eq!(stale.len(), 1);
+    assert_eq!(stale[0].get("allowed").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(stale[0].get("live").and_then(Value::as_f64), Some(1.0));
+}

@@ -1,0 +1,22 @@
+//! The gate itself: the workspace must lint clean against the committed
+//! baseline. This is the same check CI runs via the `ador-lint` binary;
+//! having it as a test means `cargo test` catches a regression (or a
+//! stale baseline) before CI does.
+
+use std::path::Path;
+
+use ador_analysis::{lint_workspace, Baseline};
+
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let text = std::fs::read_to_string(root.join("lint-baseline.txt"))
+        .expect("committed lint-baseline.txt must exist at the workspace root");
+    let base = Baseline::parse(&text).expect("committed baseline must parse");
+    let (report, _, _) = lint_workspace(&root, &base).expect("workspace walk");
+    assert!(
+        report.clean(),
+        "workspace has unbaselined findings or stale baseline entries:\n{}",
+        report.render_text()
+    );
+}

@@ -79,6 +79,9 @@ pub fn cluster_capacity(
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::{RouterPolicy, TenantClass};
     use ador_baselines::ador_table3;

@@ -14,7 +14,7 @@
 //! outcomes (pinned by `tests/cluster_serving.rs`).
 
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use ador_hw::Architecture;
 use ador_model::ModelConfig;
@@ -155,6 +155,7 @@ impl Ord for ReadyAt {
     fn cmp(&self, other: &Self) -> Ordering {
         self.time
             .partial_cmp(&other.time)
+            // ador-lint: allow(panic) — invariant: event times are finite sums of latencies
             .expect("event times are never NaN")
             .then(self.replica.cmp(&other.replica))
     }
@@ -211,7 +212,9 @@ pub struct ClusterSim<'a> {
     stream: VecDeque<ClusterRequest>,
     classes: Vec<TenantClass>,
     offered: usize,
-    tenant_of: HashMap<u64, usize>,
+    /// Tenant tag per request id (`BTreeMap` by the determinism
+    /// contract — see `ador-lint`; lookups are by exact id).
+    tenant_of: BTreeMap<u64, usize>,
     submitted_per_tenant: Vec<usize>,
     rejected_per_tenant: Vec<usize>,
     assignments: Vec<(u64, Option<usize>)>,
@@ -257,7 +260,7 @@ impl<'a> ClusterSim<'a> {
             stream: VecDeque::new(),
             classes: Vec::new(),
             offered: 0,
-            tenant_of: HashMap::new(),
+            tenant_of: BTreeMap::new(),
             submitted_per_tenant: Vec::new(),
             rejected_per_tenant: Vec::new(),
             assignments: Vec::new(),
@@ -314,6 +317,7 @@ impl<'a> ClusterSim<'a> {
             a.request
                 .arrival
                 .partial_cmp(&b.request.arrival)
+                // ador-lint: allow(panic) — invariant: arrivals are finite draws from the workload
                 .expect("arrival times are never NaN")
         });
         for cr in &stream {
@@ -388,6 +392,7 @@ impl<'a> ClusterSim<'a> {
                 Ok(true)
             }
             (Some(arrival), _) => {
+                // ador-lint: allow(panic) — invariant: the match arm peeked the stream front
                 let cr = self.stream.pop_front().expect("peeked");
                 self.clock = self.clock.max(arrival);
                 self.route_and_submit(cr)?;
@@ -615,6 +620,9 @@ fn snapshot(engine: &Engine<'_>) -> ReplicaSnapshot {
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use ador_baselines::ador_table3;
     use ador_model::presets;

@@ -1,6 +1,6 @@
 //! The cluster front door: pluggable request-to-replica routing policies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::Serialize;
@@ -115,8 +115,9 @@ pub struct Router {
     /// (for [`AFFINITY_PIN_CAP`] pruning). A front-door session table,
     /// not an inspection of replica caches — a pinned prefix may have
     /// been evicted, in which case the pinned replica simply
-    /// re-prefills it.
-    affinity: HashMap<u64, (usize, u64)>,
+    /// re-prefills it. A `BTreeMap` so the pruning pass visits pins in
+    /// a defined order (the determinism contract; see `ador-lint`).
+    affinity: BTreeMap<u64, (usize, u64)>,
     /// Routing decisions taken so far (the pin table's logical clock).
     routed: u64,
 }
@@ -127,7 +128,7 @@ impl Router {
         Self {
             policy,
             rr_next: 0,
-            affinity: HashMap::new(),
+            affinity: BTreeMap::new(),
             routed: 0,
         }
     }
@@ -215,6 +216,7 @@ fn argmin<K: PartialOrd>(
             best = Some((i, k));
         }
     }
+    // ador-lint: allow(panic) — invariant: every call site guards against zero replicas
     best.expect("caller checks non-empty").0
 }
 

@@ -21,7 +21,9 @@
 //! * [`cluster`] — multi-replica fleets: routing policies, multi-tenant
 //!   traffic and fleet-wide QoS;
 //! * [`search`] — the design-space search;
-//! * [`baselines`] — A100 / H100 / TPUv4 / Groq TSP / LLMCompass designs.
+//! * [`baselines`] — A100 / H100 / TPUv4 / Groq TSP / LLMCompass designs;
+//! * [`analysis`] — `ador-lint`, the static-analysis pass that enforces
+//!   the simulator's determinism and panic-safety contracts.
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use ador_analysis as analysis;
 pub use ador_baselines as baselines;
 pub use ador_cluster as cluster;
 pub use ador_hw as hw;

@@ -136,7 +136,7 @@ impl fmt::Display for OpClass {
 /// Canonical operator names, matching the paper's latency-breakdown labels
 /// (Fig. 11a: "QKV Proj", "MHA", "Out Proj", "MLP1", "MLP2").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[allow(missing_docs)]
+#[allow(missing_docs)] // variant names ARE the paper's labels; per-variant docs add nothing
 pub enum OpName {
     Embed,
     AttnNorm,

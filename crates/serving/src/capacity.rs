@@ -105,6 +105,9 @@ pub fn bisect_rate<T, E: From<SimError>>(
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use ador_baselines::ador_table3;
     use ador_model::presets;

@@ -14,7 +14,7 @@
 //! [`crate::ServingSim`]; this module only changes *who advances the
 //! clock*, not what one iteration does.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 use ador_perf::Evaluator;
@@ -183,8 +183,12 @@ pub struct Engine<'a> {
     evaluator: Evaluator<'a>,
     cfg: SimConfig,
     kv_budget_tokens: usize,
-    decode_cache: HashMap<(usize, usize), Seconds>,
-    prefill_cache: HashMap<(usize, usize), Seconds>,
+    /// Memoized step-latency evaluations keyed by (batch, context
+    /// bucket). `BTreeMap`s by the determinism contract (`ador-lint`):
+    /// only exact-key lookups today, but an unordered map here is one
+    /// refactor away from order-dependent replay.
+    decode_cache: BTreeMap<(usize, usize), Seconds>,
+    prefill_cache: BTreeMap<(usize, usize), Seconds>,
 
     /// Submitted requests that have not yet reached the admission queue
     /// (their arrival lies at or beyond the current clock), sorted by
@@ -228,8 +232,8 @@ impl<'a> Engine<'a> {
             evaluator,
             cfg,
             kv_budget_tokens,
-            decode_cache: HashMap::new(),
-            prefill_cache: HashMap::new(),
+            decode_cache: BTreeMap::new(),
+            prefill_cache: BTreeMap::new(),
             pending: VecDeque::new(),
             waiting: VecDeque::new(),
             active: Vec::new(),
@@ -474,6 +478,7 @@ impl<'a> Engine<'a> {
             // Move arrivals into the admission queue (preempted jobs were
             // pushed to the front and resume first).
             while self.pending.front().is_some_and(|r| r.arrival <= self.now) {
+                // ador-lint: allow(panic) — invariant: front() was Some on the line above
                 let request = self.pending.pop_front().expect("peeked");
                 self.waiting
                     .push_back(Job::new(request, self.cfg.speculation.seed));
@@ -532,6 +537,7 @@ impl<'a> Engine<'a> {
                         .collect();
                     bids.sort_by(|a, b| {
                         b.1.partial_cmp(&a.1)
+                            // ador-lint: allow(panic) — invariant: urgency is a ratio of finite positive times
                             .expect("urgency is never NaN")
                             .then(a.0.cmp(&b.0))
                     });
@@ -581,6 +587,7 @@ impl<'a> Engine<'a> {
                     break;
                 }
                 let was_decoding = self.preempt_youngest();
+                // ador-lint: allow(panic) — invariant: plan has one entry per active job by construction
                 let victim = plan.pop().expect("plan is aligned with active");
                 debug_assert_eq!(was_decoding, victim.is_some());
                 if let Some(v) = victim {
@@ -657,6 +664,7 @@ impl<'a> Engine<'a> {
                     }
                     break;
                 }
+                // ador-lint: allow(panic) — invariant: the admission loop peeked front() above
                 let job = self.waiting.pop_front().expect("peeked");
                 if let Some(cache) = &mut self.cache {
                     if job.request.prefix_group.is_some() {
@@ -829,6 +837,7 @@ impl<'a> Engine<'a> {
     /// `active` is non-empty and never preempts down to zero, preserving
     /// forward progress for the oldest.
     fn preempt_youngest(&mut self) -> bool {
+        // ador-lint: allow(panic) — invariant: documented caller contract (active is non-empty)
         let victim = self.active.pop().expect("caller checks non-empty");
         let was_decoding = victim.is_decoding();
         self.kv_in_use -= victim.kv_held;
@@ -933,6 +942,7 @@ fn finish(job: Job, now: Seconds) -> RequestOutcome {
         job.tbt_sum / job.tbt_count as f64
     };
     RequestOutcome {
+        // ador-lint: allow(panic) — invariant: finish() is only called after the last output token
         ttft: job.first_token_at.expect("finished jobs emitted a token") - job.request.arrival,
         mean_tbt,
         max_tbt: job.tbt_max,
@@ -943,6 +953,9 @@ fn finish(job: Job, now: Seconds) -> RequestOutcome {
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use crate::{ServingSim, TraceProfile};
     use ador_baselines::ador_table3;

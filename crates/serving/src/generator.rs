@@ -74,6 +74,9 @@ impl RequestGenerator {
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]

@@ -27,7 +27,7 @@
 //! engine's token-granular KV budget, and the [`Engine`](crate::Engine)
 //! drives eviction (`evict`) before resorting to preemption.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::Serialize;
 
@@ -77,7 +77,10 @@ struct Node {
     /// trie depth). [`DEAD`] marks a recycled slab slot.
     hash: u64,
     parent: usize,
-    children: HashMap<u64, usize>,
+    /// Children keyed by block hash. A `BTreeMap` so any future walk
+    /// of a node's children is order-defined (the determinism
+    /// contract; see `ador-lint`) — lookups here are by exact hash.
+    children: BTreeMap<u64, usize>,
     /// Live requests holding this block. Every holder of a block holds
     /// all its ancestors too, so `refs == 0` implies no descendant is
     /// referenced.
@@ -125,7 +128,7 @@ impl PrefixCache {
             nodes: vec![Node {
                 hash: 0,
                 parent: ROOT,
-                children: HashMap::new(),
+                children: BTreeMap::new(),
                 refs: 0,
                 last_use: 0,
             }],
@@ -285,7 +288,7 @@ impl PrefixCache {
             let (hash, parent) = (self.nodes[v].hash, self.nodes[v].parent);
             self.nodes[parent].children.remove(&hash);
             self.nodes[v].hash = DEAD;
-            self.nodes[v].children = HashMap::new();
+            self.nodes[v].children = BTreeMap::new();
             self.free_slots.push(v);
             self.live -= 1;
             freed += PREFIX_BLOCK_TOKENS;
@@ -303,7 +306,7 @@ impl PrefixCache {
         let node = Node {
             hash,
             parent,
-            children: HashMap::new(),
+            children: BTreeMap::new(),
             refs: 0,
             last_use: self.clock,
         };

@@ -85,6 +85,9 @@ pub fn saturation_knee(points: &[SweepPoint], knee_factor: f64) -> Option<f64> {
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
     use ador_model::presets;
 

@@ -395,6 +395,9 @@ fn mix(mut x: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    // tests may unwrap: a failed unwrap is exactly the test failing
+    #![allow(clippy::unwrap_used)]
+
     use super::*;
 
     #[test]
