@@ -23,6 +23,7 @@ pub const SIM_PREFIXES: &[&str] = &[
     "crates/serving/src/",
     "crates/cluster/src/",
     "crates/spec/src/",
+    "crates/telemetry/src/",
 ];
 
 /// The outcome of one workspace lint run.

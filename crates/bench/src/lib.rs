@@ -407,6 +407,125 @@ pub mod schema {
         }
         Ok(())
     }
+
+    /// Request count above which [`validate_bench_telemetry`] enforces
+    /// the overhead budget. Smaller cells (including the `--quick` smoke
+    /// grid) are dominated by fixed costs and wall-clock noise, so only
+    /// their structure is checked.
+    pub const TELEMETRY_OVERHEAD_FLOOR_REQUESTS: f64 = 100_000.0;
+
+    /// Maximum accepted tracing-on / tracing-off wall-clock ratio at or
+    /// above [`TELEMETRY_OVERHEAD_FLOOR_REQUESTS`]: telemetry must stay
+    /// within 10 % of the untraced fleet.
+    pub const TELEMETRY_OVERHEAD_CAP: f64 = 1.10;
+
+    /// Validates a `BENCH_telemetry.json` document (emitted by the
+    /// `bench_telemetry` target): the tracing-on vs tracing-off
+    /// wall-clock grid.
+    ///
+    /// Checked invariants, not specific grid values — so a `--quick`
+    /// smoke run and the full committed grid both pass:
+    /// - top-level object named `"bench_telemetry"` with a positive
+    ///   `rate_per_replica`, a numeric `seed`, an integral
+    ///   `ring_capacity` ≥ 1 and a positive `series_interval_s`;
+    /// - a non-empty `cells` array; every cell has integral `replicas`
+    ///   and `requests` counts ≥ 1, positive finite `off_s` / `on_s` /
+    ///   `per_token_s` wall-clock seconds (the always-on configuration
+    ///   and the full per-token event stream respectively), and an
+    ///   `overhead` consistent with the `on_s`/`off_s` ratio;
+    /// - every cell's `reports_equal` flag is `true` — the bench
+    ///   re-verifies on the measured runs that telemetry observed the
+    ///   fleet without perturbing it;
+    /// - cells with at least [`TELEMETRY_OVERHEAD_FLOOR_REQUESTS`]
+    ///   requests keep `overhead` ≤ [`TELEMETRY_OVERHEAD_CAP`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_bench_telemetry(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing `name`")?;
+        if name != "bench_telemetry" {
+            return Err(format!("unexpected artifact name `{name}`"));
+        }
+        let rate = doc
+            .get("rate_per_replica")
+            .and_then(Value::as_f64)
+            .ok_or("missing `rate_per_replica`")?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!("non-positive rate_per_replica {rate}"));
+        }
+        doc.get("seed")
+            .and_then(Value::as_f64)
+            .ok_or("missing `seed`")?;
+        let ring = doc
+            .get("ring_capacity")
+            .and_then(Value::as_f64)
+            .ok_or("missing `ring_capacity`")?;
+        if ring < 1.0 || ring.fract() != 0.0 {
+            return Err(format!("ring_capacity must be an integer ≥ 1, got {ring}"));
+        }
+        let interval = doc
+            .get("series_interval_s")
+            .and_then(Value::as_f64)
+            .ok_or("missing `series_interval_s`")?;
+        if !(interval > 0.0 && interval.is_finite()) {
+            return Err(format!("non-positive series_interval_s {interval}"));
+        }
+        let cells = doc
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("missing `cells` array")?;
+        if cells.is_empty() {
+            return Err("empty `cells` array".to_string());
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            let count = |key: &str| -> Result<f64, String> {
+                let x = cell
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("cell {i}: missing `{key}`"))?;
+                if x < 1.0 || x.fract() != 0.0 {
+                    return Err(format!("cell {i}: `{key}` must be an integer ≥ 1, got {x}"));
+                }
+                Ok(x)
+            };
+            count("replicas")?;
+            let requests = count("requests")?;
+            let secs = |key: &str| -> Result<f64, String> {
+                let x = cell
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("cell {i}: missing `{key}`"))?;
+                if !(x > 0.0 && x.is_finite()) {
+                    return Err(format!("cell {i}: `{key}` must be positive, got {x}"));
+                }
+                Ok(x)
+            };
+            let off = secs("off_s")?;
+            let on = secs("on_s")?;
+            secs("per_token_s")?;
+            let overhead = secs("overhead")?;
+            if (overhead - on / off).abs() > 0.01 * (on / off) {
+                return Err(format!(
+                    "cell {i}: overhead {overhead} inconsistent with {on}/{off}"
+                ));
+            }
+            if requests >= TELEMETRY_OVERHEAD_FLOOR_REQUESTS && overhead > TELEMETRY_OVERHEAD_CAP {
+                return Err(format!(
+                    "cell {i}: overhead {overhead} exceeds the {TELEMETRY_OVERHEAD_CAP} \
+                     budget at {requests} requests"
+                ));
+            }
+            if cell.get("reports_equal").and_then(Value::as_bool) != Some(true) {
+                return Err(format!("cell {i}: reports_equal must be true"));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +645,76 @@ mod tests {
         // Wrong artifact name.
         let renamed =
             grid_doc(&[cell(4.0, 1.0, 0.5, true)]).replace("bench_cluster", "bench_other");
+        assert!(validate(&renamed).is_err());
+    }
+
+    fn telemetry_cell(requests: f64, off: f64, on: f64, equal: bool) -> String {
+        json::object(&[
+            ("replicas", json::num(4.0)),
+            ("requests", json::num(requests)),
+            ("off_s", json::num(off)),
+            ("on_s", json::num(on)),
+            ("per_token_s", json::num(on * 1.2)),
+            ("overhead", json::num(on / off)),
+            ("reports_equal", equal.to_string()),
+        ])
+    }
+
+    fn telemetry_doc(cells: &[String]) -> String {
+        json::object(&[
+            ("name", json::string("bench_telemetry")),
+            ("rate_per_replica", json::num(6.0)),
+            ("seed", json::num(23.0)),
+            ("ring_capacity", json::num(65536.0)),
+            ("series_interval_s", json::num(0.25)),
+            ("cells", json::array(cells)),
+        ])
+    }
+
+    #[test]
+    fn bench_telemetry_schema_accepts_a_well_formed_grid() {
+        let doc = telemetry_doc(&[
+            telemetry_cell(600.0, 0.01, 0.02, true), // small cells escape the cap
+            telemetry_cell(100_000.0, 60.0, 63.0, true),
+        ]);
+        crate::schema::validate_bench_telemetry(&doc).unwrap();
+    }
+
+    #[test]
+    fn bench_telemetry_schema_rejects_structural_violations() {
+        let validate = crate::schema::validate_bench_telemetry;
+        assert!(validate("not json").is_err());
+        assert!(validate(&telemetry_doc(&[])).is_err(), "empty grid");
+        assert!(
+            validate(&telemetry_doc(&[telemetry_cell(600.0, 0.01, 0.02, false)])).is_err(),
+            "telemetry perturbed the run"
+        );
+        assert!(
+            validate(&telemetry_doc(&[telemetry_cell(
+                100_000.0, 60.0, 70.0, true
+            )]))
+            .is_err(),
+            "overhead budget blown at the enforced scale"
+        );
+        // An overhead field inconsistent with the measured ratio.
+        let bad = telemetry_doc(&[json::object(&[
+            ("replicas", json::num(4.0)),
+            ("requests", json::num(1000.0)),
+            ("off_s", json::num(2.0)),
+            ("on_s", json::num(2.1)),
+            ("per_token_s", json::num(2.5)),
+            ("overhead", json::num(2.0)),
+            ("reports_equal", "true".to_string()),
+        ])]);
+        assert!(validate(&bad).is_err(), "inconsistent overhead");
+        // The full per-token column must be present and positive.
+        let no_per_token = telemetry_doc(&[
+            telemetry_cell(600.0, 0.01, 0.011, true).replace("per_token_s", "per_token_sec")
+        ]);
+        assert!(validate(&no_per_token).is_err(), "missing per_token_s");
+        // Wrong artifact name.
+        let renamed = telemetry_doc(&[telemetry_cell(600.0, 0.01, 0.011, true)])
+            .replace("bench_telemetry", "bench_other");
         assert!(validate(&renamed).is_err());
     }
 }

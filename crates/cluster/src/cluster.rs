@@ -20,10 +20,11 @@ use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::Deployment;
 use ador_serving::{Engine, QosReport, RequestOutcome, ServingSim, SimConfig, SimError};
-use ador_units::Seconds;
+use ador_telemetry::{goodput_series, Event, EventKind, TelemetryConfig, TimeSeries};
+use ador_units::{conv, Seconds};
 use serde::Serialize;
 
-use crate::report::imbalance;
+use crate::report::{imbalance, FleetTelemetry};
 use crate::{
     ClusterRequest, FleetReport, ReplicaSnapshot, Router, RouterPolicy, TenantClass, TenantMix,
     TenantQos,
@@ -128,6 +129,19 @@ impl ClusterConfig {
     /// by [`TenantMix::generate`](crate::TenantMix::generate).
     pub fn with_speculation(mut self, speculation: ador_spec::SpeculationConfig) -> Self {
         self.engine.speculation = speculation;
+        self
+    }
+
+    /// Configures telemetry on every replica engine (shorthand for
+    /// setting [`SimConfig::telemetry`](ador_serving::SimConfig) on the
+    /// embedded engine config). With anything enabled, the drained
+    /// artifacts land on [`FleetReport::telemetry`]; shed requests are
+    /// additionally stamped with [`EventKind::Shed`](ador_telemetry::EventKind)
+    /// in the sink of the replica the router chose for them. The default
+    /// ([`TelemetryConfig::OFF`]) records nothing and leaves the run
+    /// bit-identical to an untraced fleet.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.engine.telemetry = telemetry;
         self
     }
 }
@@ -451,6 +465,15 @@ impl<'a> ClusterSim<'a> {
             }
             self.assignments.push((cr.request.id, Some(idx)));
         } else {
+            // The shed is attributed to the replica the router *would*
+            // have used — that is the queue whose pressure caused it.
+            if let Some(sink) = self.engines[idx].event_sink_mut() {
+                sink.record(&Event {
+                    time: self.clock,
+                    request: cr.request.id,
+                    kind: EventKind::Shed,
+                });
+            }
             self.rejected_per_tenant[cr.tenant] += 1;
             self.assignments.push((cr.request.id, None));
         }
@@ -533,8 +556,9 @@ impl<'a> ClusterSim<'a> {
     ///
     /// Panics if the fleet has not fully drained (call after
     /// [`ClusterSim::advance`] returns `false`).
-    pub fn finish(self) -> FleetReport {
+    pub fn finish(mut self) -> FleetReport {
         assert!(self.is_done(), "finish() requires a drained fleet");
+        let telemetry = self.collect_telemetry();
         let per_replica: Vec<Option<QosReport>> = self.engines.iter().map(|e| e.report()).collect();
         let completed_reports: Vec<QosReport> = per_replica.iter().flatten().cloned().collect();
         let fleet = if completed_reports.is_empty() {
@@ -554,7 +578,7 @@ impl<'a> ClusterSim<'a> {
             .map(|e| {
                 e.outcomes()
                     .iter()
-                    .map(|o| o.request.total_tokens() as f64)
+                    .map(|o| conv::f64_from_usize(o.request.total_tokens()))
                     .sum()
             })
             .collect();
@@ -592,7 +616,63 @@ impl<'a> ClusterSim<'a> {
             tenants,
             assignments: self.assignments,
             imbalance: imbalance(&tokens_per_replica),
+            telemetry,
         }
+    }
+
+    /// Drains every replica's event sink and series collector into the
+    /// report's [`FleetTelemetry`] block, or `None` when the run was
+    /// untraced (keeping untraced reports bit-identical to
+    /// pre-telemetry ones). Per-tenant goodput is derived post-hoc from
+    /// the pooled outcomes on the shared fleet clock, so it exists even
+    /// when events flow through a bounded flight recorder.
+    fn collect_telemetry(&mut self) -> Option<FleetTelemetry> {
+        let tcfg = self.cfg.engine.telemetry;
+        if !tcfg.enabled() {
+            return None;
+        }
+        let end = self.now();
+        let events: Vec<Vec<Event>> = self
+            .engines
+            .iter_mut()
+            .map(|e| {
+                e.take_event_sink()
+                    .map(|mut sink| sink.drain())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let series: Vec<TimeSeries> = self
+            .engines
+            .iter_mut()
+            .filter_map(|e| e.take_series().map(ador_telemetry::SeriesCollector::finish))
+            .collect();
+        let (tenant_goodput, goodput_interval) = match tcfg.series_interval {
+            None => (Vec::new(), Seconds::ZERO),
+            Some(interval) => {
+                let mut completions: Vec<Vec<(Seconds, u64)>> =
+                    vec![Vec::new(); self.classes.len()];
+                for engine in &self.engines {
+                    for o in engine.outcomes() {
+                        let tenant = self.tenant_of[&o.request.id];
+                        completions[tenant].push((
+                            o.request.arrival + o.e2e,
+                            conv::u64_from_usize(o.request.output_tokens),
+                        ));
+                    }
+                }
+                let per_tenant = completions
+                    .iter()
+                    .map(|c| goodput_series(c, interval, end))
+                    .collect();
+                (per_tenant, interval)
+            }
+        };
+        Some(FleetTelemetry {
+            events,
+            series,
+            tenant_goodput,
+            goodput_interval,
+        })
     }
 }
 
@@ -690,6 +770,57 @@ mod tests {
             .filter(|(_, r)| r.is_none())
             .count();
         assert_eq!(unassigned, report.rejected);
+    }
+
+    #[test]
+    fn untraced_fleets_carry_no_telemetry_and_traced_runs_change_nothing() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mix = two_class_mix(6.0);
+        let run = |telemetry: TelemetryConfig| {
+            let cfg =
+                ClusterConfig::new(2, RouterPolicy::JoinShortestQueue).with_telemetry(telemetry);
+            ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(&mix, 60, 11)
+                .unwrap()
+        };
+        let off = run(TelemetryConfig::OFF);
+        assert!(off.telemetry.is_none());
+        let mut on = run(TelemetryConfig::trace().with_series(Seconds::from_millis(50.0)));
+        let telemetry = on.telemetry.take().expect("traced run carries telemetry");
+        // Telemetry observes the run without perturbing it.
+        assert_eq!(on, off);
+        assert_eq!(telemetry.events.len(), 2);
+        assert_eq!(telemetry.series.len(), 2);
+        assert!(telemetry.events.iter().any(|e| !e.is_empty()));
+        assert!(telemetry.series.iter().any(|s| !s.points.is_empty()));
+        // One goodput lane per tenant, on the configured window.
+        assert_eq!(telemetry.tenant_goodput.len(), 2);
+        assert_eq!(telemetry.goodput_interval, Seconds::from_millis(50.0));
+        let total: f64 = telemetry.tenant_goodput.iter().flatten().sum();
+        assert!(total > 0.0, "completed tokens must show up as goodput");
+    }
+
+    #[test]
+    fn shed_requests_are_stamped_in_the_chosen_replicas_trace() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = ClusterConfig::new(1, RouterPolicy::JoinShortestQueue)
+            .with_engine(SimConfig::new(1.0, 4))
+            .with_queue_cap(2)
+            .with_telemetry(TelemetryConfig::trace());
+        let report = ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(&two_class_mix(100.0), 80, 9)
+            .unwrap();
+        assert!(report.rejected > 0, "overload must shed");
+        let telemetry = report.telemetry.expect("traced run carries telemetry");
+        let sheds = telemetry.events[0]
+            .iter()
+            .filter(|e| e.kind == ador_telemetry::EventKind::Shed)
+            .count();
+        assert_eq!(sheds, report.rejected);
     }
 
     #[test]

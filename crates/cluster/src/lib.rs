@@ -84,6 +84,6 @@ mod tenant;
 
 pub use capacity::{cluster_capacity, ClusterCapacityResult};
 pub use cluster::{ClusterConfig, ClusterSim, DriveMode};
-pub use report::{FleetReport, TenantQos};
+pub use report::{FleetReport, FleetTelemetry, TenantQos};
 pub use router::{ReplicaSnapshot, Router, RouterPolicy, AFFINITY_SPILL};
 pub use tenant::{ArrivalProcess, ClusterRequest, SessionShape, TenantClass, TenantMix};

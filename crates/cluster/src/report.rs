@@ -2,6 +2,8 @@
 //! utilization imbalance, and the merged engine-level report.
 
 use ador_serving::{LatencyStats, QosReport, RequestOutcome, Slo};
+use ador_telemetry::{Event, TimeSeries};
+use ador_units::{conv, Seconds};
 use serde::Serialize;
 
 use crate::RouterPolicy;
@@ -45,7 +47,7 @@ impl TenantQos {
         let attainment = if judged == 0 {
             0.0
         } else {
-            slo_met as f64 / judged as f64
+            conv::f64_from_usize(slo_met) / conv::f64_from_usize(judged)
         };
         let stats = |pick: fn(&RequestOutcome) -> ador_units::Seconds| {
             if outcomes.is_empty() {
@@ -67,6 +69,28 @@ impl TenantQos {
             tbt: stats(|o| o.mean_tbt),
         }
     }
+}
+
+/// Observability artifacts of one cluster run, present on
+/// [`FleetReport::telemetry`] only when the embedded engine config enabled
+/// telemetry ([`SimConfig::with_telemetry`](ador_serving::SimConfig) —
+/// `None` otherwise, so untraced reports compare bit-identically to
+/// pre-telemetry ones).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FleetTelemetry {
+    /// Per-replica lifecycle event streams, in recording order. Replicas
+    /// that traced nothing (or fleets tracing through a bounded flight
+    /// recorder) hold what their sink retained.
+    pub events: Vec<Vec<Event>>,
+    /// Per-replica windowed time series (empty when no series interval
+    /// was configured).
+    pub series: Vec<TimeSeries>,
+    /// Per-tenant goodput (completed tokens/s) per window of
+    /// `goodput_interval`, over the shared fleet clock. Empty when no
+    /// series interval was configured.
+    pub tenant_goodput: Vec<Vec<f64>>,
+    /// The window width behind `tenant_goodput`.
+    pub goodput_interval: Seconds,
 }
 
 /// The QoS report of one cluster run: the fleet total, its per-replica and
@@ -103,6 +127,9 @@ pub struct FleetReport {
     /// even spread; RoundRobin on heavy-tailed traffic runs well above
     /// the adaptive policies.
     pub imbalance: f64,
+    /// Observability artifacts (event streams, time series, per-tenant
+    /// goodput), or `None` when the run was untraced.
+    pub telemetry: Option<FleetTelemetry>,
 }
 
 impl FleetReport {
@@ -114,7 +141,7 @@ impl FleetReport {
             return 0.0;
         }
         let met: usize = self.tenants.iter().map(|t| t.slo_met).sum();
-        met as f64 / judged as f64
+        conv::f64_from_usize(met) / conv::f64_from_usize(judged)
     }
 }
 
@@ -124,7 +151,7 @@ pub(crate) fn imbalance(tokens_per_replica: &[f64]) -> f64 {
     if tokens_per_replica.is_empty() {
         return 0.0;
     }
-    let n = tokens_per_replica.len() as f64;
+    let n = conv::f64_from_usize(tokens_per_replica.len());
     let mean = tokens_per_replica.iter().sum::<f64>() / n;
     if mean <= 0.0 {
         return 0.0;

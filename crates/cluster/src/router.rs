@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use ador_units::conv;
 use serde::Serialize;
 
 /// Which replica a router hands each arriving request to.
@@ -98,7 +99,8 @@ impl ReplicaSnapshot {
     /// KV demand (resident plus committed backlog) relative to the
     /// budget. Unlike utilization, this can exceed 1 under overload.
     pub fn kv_load(&self) -> f64 {
-        (self.kv_in_use + self.backlog_tokens) as f64 / self.kv_budget_tokens.max(1) as f64
+        conv::f64_from_usize(self.kv_in_use + self.backlog_tokens)
+            / conv::f64_from_usize(self.kv_budget_tokens.max(1))
     }
 }
 
@@ -192,7 +194,9 @@ impl Router {
                     // Prune pins idle for a full cap's worth of decisions:
                     // those sessions ended long ago (cost of a wrong prune
                     // is one re-prefill, not correctness).
-                    let horizon = self.routed.saturating_sub(AFFINITY_PIN_CAP as u64);
+                    let horizon = self
+                        .routed
+                        .saturating_sub(conv::u64_from_usize(AFFINITY_PIN_CAP));
                     self.affinity.retain(|_, &mut (_, used)| used > horizon);
                 }
                 self.affinity.insert(group, (chosen, self.routed));

@@ -6,7 +6,7 @@
 
 use ador_serving::{SimConfig, Slo, TraceProfile};
 use ador_spec::{SpeculationConfig, SpeculationPolicy};
-use ador_units::Seconds;
+use ador_units::{conv, Seconds};
 
 use crate::{ArrivalProcess, ClusterConfig, DriveMode, RouterPolicy, TenantClass, TenantMix};
 
@@ -178,7 +178,7 @@ pub const SCALE_SEED: u64 = 23;
 /// equivalence tests so the measured grid and the pinned oracle exercise
 /// the same traffic.
 pub fn scale_mix(replicas: usize) -> TenantMix {
-    skewed_two_tenant(SCALE_RATE_PER_REPLICA * replicas as f64)
+    skewed_two_tenant(SCALE_RATE_PER_REPLICA * conv::f64_from_usize(replicas))
 }
 
 /// The scale-grid fleet: 32-slot replicas with an ample KV budget behind

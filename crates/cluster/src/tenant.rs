@@ -16,7 +16,7 @@
 //! ([`ador_serving::SimConfig::prefix_caching`]) exploits.
 
 use ador_serving::{Request, Slo, TraceProfile};
-use ador_units::Seconds;
+use ador_units::{conv, Seconds};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
@@ -202,7 +202,7 @@ impl SessionShape {
         let p = 1.0 / self.mean_turns;
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         // Inverse-CDF of the geometric distribution on {0, 1, ...}.
-        1 + (u.ln() / (1.0 - p).ln()).floor() as usize
+        1 + conv::usize_from_f64((u.ln() / (1.0 - p).ln()).floor())
     }
 }
 
@@ -414,9 +414,9 @@ impl TenantMix {
             // can supply the whole truncated stream (sessions yield at
             // least one turn per arrival), so `count` draws each is
             // always enough.
-            let mut rng = StdRng::seed_from_u64(
-                seed.wrapping_add((tenant as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-            );
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(
+                (conv::u64_from_usize(tenant) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
             let starts = class.arrivals.sample_arrivals(&mut rng, count);
             match class.session {
                 None => {
@@ -473,7 +473,7 @@ impl TenantMix {
                 ClusterRequest {
                     request: Request {
                         prefix_group: group,
-                        ..Request::new(id as u64, arrival, input, output)
+                        ..Request::new(conv::u64_from_usize(id), arrival, input, output)
                     }
                     .with_slo(class.slo)
                     .with_accept_rate(class.accept_rate),
@@ -490,8 +490,8 @@ impl TenantMix {
 fn session_group(seed: u64, tenant: usize, session: usize) -> u64 {
     ador_serving::splitmix64(
         seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((tenant as u64 + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add((session as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB)),
+            .wrapping_add((conv::u64_from_usize(tenant) + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add((conv::u64_from_usize(session) + 1).wrapping_mul(0x94D0_49BB_1331_11EB)),
     )
 }
 

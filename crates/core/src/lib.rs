@@ -61,6 +61,7 @@ pub use ador_perf as perf;
 pub use ador_search as search;
 pub use ador_serving as serving;
 pub use ador_spec as spec;
+pub use ador_telemetry as telemetry;
 pub use ador_units as units;
 
 /// Everything a typical user needs in scope.

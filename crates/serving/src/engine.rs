@@ -19,7 +19,11 @@ use std::fmt;
 
 use ador_perf::Evaluator;
 use ador_spec::{DraftStream, SpeculationPolicy, Verify};
-use ador_units::Seconds;
+use ador_telemetry::{
+    Event, EventDetail, EventKind, EventSink, EventSinkKind, FlightRecorder, SeriesCollector,
+    SeriesSample, VecSink,
+};
+use ador_units::{conv, Seconds};
 
 use crate::prefix::{PrefixCache, PrefixCacheStats, PREFIX_BLOCK_TOKENS};
 use crate::sim::{SchedulerPolicy, SimConfig, SimError};
@@ -43,6 +47,9 @@ struct Job {
     /// Survives preemption with the job, so a resumed request continues
     /// its draw sequence instead of replaying it.
     draft: DraftStream,
+    /// Whether the job has ever been preempted — a later admission is a
+    /// resume, not a first admit (telemetry only; scheduling ignores it).
+    preempted: bool,
 }
 
 impl Job {
@@ -57,6 +64,7 @@ impl Job {
             tbt_max: Seconds::ZERO,
             tbt_count: 0,
             draft,
+            preempted: false,
         }
     }
 
@@ -64,7 +72,7 @@ impl Job {
     /// emitted a second token — the slack signal `SloAdaptive`
     /// speculation budgets depth against.
     fn mean_tbt_so_far(&self) -> Option<Seconds> {
-        (self.tbt_count > 0).then(|| self.tbt_sum / self.tbt_count as f64)
+        (self.tbt_count > 0).then(|| self.tbt_sum / conv::f64_from_usize(self.tbt_count))
     }
 
     /// Tokens a (re)admission must prefill before decoding: the prompt plus
@@ -112,6 +120,11 @@ struct Active {
     /// Deepest prefix-cache block held ([`PrefixCache::ROOT`] when the
     /// request holds none).
     cache_node: usize,
+    /// Whether a `Commit` event was emitted since this admission or
+    /// resume — telemetry-only (never read by the scheduler): under
+    /// [`EventDetail::Lifecycle`] only the phase-boundary commit and
+    /// draft-carrying verify steps reach the sink.
+    traced_commit: bool,
 }
 
 impl Active {
@@ -124,6 +137,7 @@ impl Active {
             kv_held: 0,
             cached_tokens,
             cache_node,
+            traced_commit: false,
         }
     }
 
@@ -220,6 +234,58 @@ pub struct Engine<'a> {
     accepted_tokens: usize,
     rejected_tokens: usize,
     prev_step_prefilled: bool,
+
+    /// Running total of committed-but-not-resident prefill demand, kept in
+    /// lockstep with every queue transition so [`Engine::backlog_tokens`]
+    /// is O(1). Debug builds check it against a recompute-from-scratch
+    /// oracle after every iteration.
+    backlog: usize,
+
+    /// Telemetry event sink — `None` when tracing is off, in which case
+    /// the engine performs no per-event work at all.
+    sink: Option<EngineSink>,
+    /// Windowed time-series collector — `None` when off.
+    series: Option<SeriesCollector>,
+}
+
+/// Monomorphized storage for the built-in sinks. The engine emits one
+/// event per committed token, so at fleet scale `record` runs tens of
+/// millions of times: keeping the built-ins as concrete variants lets
+/// that call inline instead of going through `Box<dyn EventSink>`
+/// virtual dispatch (measured ~2x wall-clock on traced 128-replica
+/// runs). Caller-installed sinks still ride along boxed.
+#[derive(Debug)]
+enum EngineSink {
+    Log(VecSink),
+    Ring(FlightRecorder),
+    Custom(Box<dyn EventSink>),
+}
+
+impl EngineSink {
+    #[inline]
+    fn record(&mut self, event: &Event) {
+        match self {
+            EngineSink::Log(sink) => sink.record(event),
+            EngineSink::Ring(sink) => sink.record(event),
+            EngineSink::Custom(sink) => sink.record(event),
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut (dyn EventSink + 'static) {
+        match self {
+            EngineSink::Log(sink) => sink,
+            EngineSink::Ring(sink) => sink,
+            EngineSink::Custom(sink) => sink.as_mut(),
+        }
+    }
+
+    fn into_boxed(self) -> Box<dyn EventSink> {
+        match self {
+            EngineSink::Log(sink) => Box::new(sink),
+            EngineSink::Ring(sink) => Box::new(sink),
+            EngineSink::Custom(sink) => sink,
+        }
+    }
 }
 
 impl<'a> Engine<'a> {
@@ -255,6 +321,29 @@ impl<'a> Engine<'a> {
             accepted_tokens: 0,
             rejected_tokens: 0,
             prev_step_prefilled: false,
+            backlog: 0,
+            sink: match cfg.telemetry.events {
+                EventSinkKind::Off => None,
+                EventSinkKind::Log => Some(EngineSink::Log(VecSink::new())),
+                EventSinkKind::Ring { capacity } => {
+                    Some(EngineSink::Ring(FlightRecorder::new(capacity)))
+                }
+            },
+            series: cfg.telemetry.series_interval.map(SeriesCollector::new),
+        }
+    }
+
+    /// Records `kind` for `request` at sim time `time` — a no-op (not even
+    /// an allocation) when tracing is off. Free-standing over the sink
+    /// field so call sites holding `&mut self.active[i]` can still emit.
+    #[inline]
+    fn emit(sink: &mut Option<EngineSink>, time: Seconds, request: u64, kind: EventKind) {
+        if let Some(sink) = sink.as_mut() {
+            sink.record(&Event {
+                time,
+                request,
+                kind,
+            });
         }
     }
 
@@ -280,6 +369,7 @@ impl<'a> Engine<'a> {
         let pos = self
             .pending
             .partition_point(|q| q.arrival <= request.arrival);
+        self.backlog += request.input_tokens;
         self.pending.insert(pos, request);
         self.submitted += 1;
         Ok(())
@@ -333,7 +423,18 @@ impl<'a> Engine<'a> {
     /// lagging load signal — a replica that just received a burst still
     /// looks empty until the prefills land — so token-backlog-aware
     /// routers balance `kv_in_use + backlog_tokens` instead.
+    ///
+    /// O(1): maintained incrementally across submissions, admissions,
+    /// prefill chunks and preemptions rather than recomputed by scanning
+    /// the queues (routers poll this every routing decision).
     pub fn backlog_tokens(&self) -> usize {
+        self.backlog
+    }
+
+    /// Recompute-from-scratch definition of [`Engine::backlog_tokens`] —
+    /// the oracle the incremental sum is checked against (debug asserts
+    /// and the property tests).
+    fn backlog_oracle(&self) -> usize {
         let pending: usize = self.pending.iter().map(|r| r.input_tokens).sum();
         let waiting: usize = self.waiting.iter().map(Job::prefill_target).sum();
         let active: usize = self
@@ -400,7 +501,7 @@ impl<'a> Engine<'a> {
             if self.steps == 0 {
                 0.0
             } else {
-                sum / self.steps as f64
+                sum / conv::f64_from_usize(self.steps)
             }
         };
         let cache = self.prefix_stats().unwrap_or_default();
@@ -480,6 +581,12 @@ impl<'a> Engine<'a> {
             while self.pending.front().is_some_and(|r| r.arrival <= self.now) {
                 // ador-lint: allow(panic) — invariant: front() was Some on the line above
                 let request = self.pending.pop_front().expect("peeked");
+                Self::emit(
+                    &mut self.sink,
+                    request.arrival,
+                    request.id,
+                    EventKind::Enqueue,
+                );
                 self.waiting
                     .push_back(Job::new(request, self.cfg.speculation.seed));
             }
@@ -675,6 +782,21 @@ impl<'a> Engine<'a> {
                 }
                 chunk_budget -= take;
                 kv_headroom -= take + usize::from(take == remaining);
+                // Cached tokens never prefill, so they leave the backlog
+                // the moment the admission decision skips them.
+                self.backlog -= cached;
+                Self::emit(
+                    &mut self.sink,
+                    self.now,
+                    job.request.id,
+                    if job.preempted {
+                        EventKind::Resume
+                    } else {
+                        EventKind::Admit {
+                            cached_tokens: conv::u32_from_usize(cached),
+                        }
+                    },
+                );
                 chunks.push((self.active.len(), take));
                 self.active.push(Active::admit(job, cached, cache_node));
             }
@@ -720,7 +842,8 @@ impl<'a> Engine<'a> {
                     let ctx_eq = (ctx_sum / verify_tokens).max(1);
                     step_time += self.decode_time(verify_tokens, ctx_eq)?;
                     let base = self.decode_time(decoders, ctx)?;
-                    let mean_depth = drafted_total as f64 / decoders as f64;
+                    let mean_depth =
+                        conv::f64_from_usize(drafted_total) / conv::f64_from_usize(decoders);
                     step_time += base * (spec.draft_time_ratio * mean_depth);
                 }
             }
@@ -737,9 +860,19 @@ impl<'a> Engine<'a> {
                 received[i] = take;
                 self.charge_kv(take);
                 self.prefilled_tokens += take;
+                self.backlog -= take;
                 let a = &mut self.active[i];
                 a.prefilled += take;
                 a.kv_held += take;
+                let id = a.job.request.id;
+                Self::emit(
+                    &mut self.sink,
+                    self.now,
+                    id,
+                    EventKind::PrefillChunk {
+                        tokens: conv::u32_from_usize(take),
+                    },
+                );
             }
             for &(i, _) in &chunks {
                 if self.active[i].is_decoding() {
@@ -757,6 +890,7 @@ impl<'a> Engine<'a> {
             // timestamp: the verify pass reveals them at once, so the
             // first carries the whole inter-step gap and the rest are
             // free — exactly how speculation buys mean TBT.
+            let per_token_events = self.cfg.telemetry.detail == EventDetail::PerToken;
             let mut batch_now = 0usize;
             let mut finished: Vec<usize> = Vec::new();
             for (i, &got) in received.iter().enumerate() {
@@ -786,7 +920,28 @@ impl<'a> Engine<'a> {
                     self.accepted_tokens += v.accepted;
                     self.rejected_tokens += v.rejected();
                 }
-                if a.job.done() {
+                let id = a.job.request.id;
+                let done = a.job.done();
+                let (drafted, accepted) = verify.map_or((0, 0), |v| (v.drafted, v.accepted));
+                // Under Lifecycle detail only the phase-boundary commit
+                // (first tokens after admit/resume) and draft-carrying
+                // verify steps reach the sink — steady one-token decode
+                // steps are the event flood the overhead budget elides.
+                let boundary = !a.traced_commit;
+                a.traced_commit = true;
+                if per_token_events || boundary || drafted > 0 {
+                    Self::emit(
+                        &mut self.sink,
+                        self.now,
+                        id,
+                        EventKind::Commit {
+                            committed: conv::u32_from_usize(commit),
+                            drafted: conv::u32_from_usize(drafted),
+                            accepted: conv::u32_from_usize(accepted),
+                        },
+                    );
+                }
+                if done {
                     finished.push(i);
                 }
             }
@@ -801,14 +956,26 @@ impl<'a> Engine<'a> {
                     cache.release(a.cache_node);
                 }
                 self.kv_in_use -= a.kv_held;
+                Self::emit(
+                    &mut self.sink,
+                    self.now,
+                    a.job.request.id,
+                    EventKind::Complete,
+                );
                 self.outcomes.push(finish(a.job, self.now));
             }
 
-            self.batch_samples += batch_now as f64;
+            self.batch_samples += conv::f64_from_usize(batch_now);
             self.peak_batch = self.peak_batch.max(batch_now);
-            self.queue_samples += self.waiting.len() as f64;
+            self.queue_samples += conv::f64_from_usize(self.waiting.len());
             self.peak_queue = self.peak_queue.max(self.waiting.len());
             self.peak_kv = self.peak_kv.max(self.kv_in_use);
+            self.sample_series();
+            debug_assert_eq!(
+                self.backlog,
+                self.backlog_oracle(),
+                "incremental token backlog drifted from the queue scan"
+            );
             debug_assert_eq!(
                 self.kv_in_use,
                 self.active.iter().map(|a| a.kv_held).sum::<usize>()
@@ -838,15 +1005,53 @@ impl<'a> Engine<'a> {
     /// forward progress for the oldest.
     fn preempt_youngest(&mut self) -> bool {
         // ador-lint: allow(panic) — invariant: documented caller contract (active is non-empty)
-        let victim = self.active.pop().expect("caller checks non-empty");
+        let mut victim = self.active.pop().expect("caller checks non-empty");
         let was_decoding = victim.is_decoding();
         self.kv_in_use -= victim.kv_held;
         if let Some(cache) = &mut self.cache {
             cache.release(victim.cache_node);
         }
         self.preemptions += 1;
+        // The victim re-enters the queue owing a full recompute (prompt
+        // plus generated-so-far), where as an active it owed only its
+        // remaining prefill.
+        self.backlog += victim.job.prefill_target();
+        self.backlog -= victim.prefill_target - victim.prefilled;
+        victim.job.preempted = true;
+        Self::emit(
+            &mut self.sink,
+            self.now,
+            victim.job.request.id,
+            EventKind::Preempt,
+        );
         self.waiting.push_front(victim.job);
         was_decoding
+    }
+
+    /// Feeds the windowed time-series collector one post-iteration sample
+    /// (no-op when collection is off).
+    fn sample_series(&mut self) {
+        let Some(series) = self.series.as_mut() else {
+            return;
+        };
+        let cache = self
+            .cache
+            .as_ref()
+            .map(PrefixCache::stats)
+            .unwrap_or_default();
+        series.observe(
+            self.now,
+            &SeriesSample {
+                queue_depth: self.waiting.len(),
+                active: self.active.len(),
+                kv_in_use: self.kv_in_use,
+                hit_tokens: conv::u64_from_usize(cache.hit_tokens),
+                seen_tokens: conv::u64_from_usize(cache.hit_tokens + cache.miss_tokens),
+                accepted: conv::u64_from_usize(self.accepted_tokens),
+                drafted: conv::u64_from_usize(self.drafted_tokens),
+                completed_tokens: conv::u64_from_usize(self.generated_tokens),
+            },
+        );
     }
 
     /// Charges `tokens` of fresh KV growth to the ledger, evicting cold
@@ -908,6 +1113,32 @@ impl<'a> Engine<'a> {
         self.prefill_cache.insert(key, t);
         Ok(t)
     }
+
+    /// The live event sink, if tracing is on — fleet drivers use this to
+    /// record their own lifecycle events (request shedding happens at the
+    /// router, not in the engine) into the same stream.
+    pub fn event_sink_mut(&mut self) -> Option<&mut (dyn EventSink + 'static)> {
+        self.sink.as_mut().map(EngineSink::as_dyn_mut)
+    }
+
+    /// Detaches and returns the event sink (subsequent steps trace
+    /// nothing), or `None` when tracing was off.
+    pub fn take_event_sink(&mut self) -> Option<Box<dyn EventSink>> {
+        self.sink.take().map(EngineSink::into_boxed)
+    }
+
+    /// Installs `sink` as the event sink, returning the previous one.
+    pub fn set_event_sink(&mut self, sink: Box<dyn EventSink>) -> Option<Box<dyn EventSink>> {
+        self.sink
+            .replace(EngineSink::Custom(sink))
+            .map(EngineSink::into_boxed)
+    }
+
+    /// Detaches and returns the time-series collector, or `None` when
+    /// collection was off.
+    pub fn take_series(&mut self) -> Option<SeriesCollector> {
+        self.series.take()
+    }
 }
 
 impl fmt::Debug for Engine<'_> {
@@ -939,7 +1170,7 @@ fn finish(job: Job, now: Seconds) -> RequestOutcome {
     let mean_tbt = if job.tbt_count == 0 {
         Seconds::ZERO
     } else {
-        job.tbt_sum / job.tbt_count as f64
+        job.tbt_sum / conv::f64_from_usize(job.tbt_count)
     };
     RequestOutcome {
         // ador-lint: allow(panic) — invariant: finish() is only called after the last output token
@@ -961,6 +1192,7 @@ mod tests {
     use ador_baselines::ador_table3;
     use ador_model::presets;
     use ador_perf::Deployment;
+    use proptest::prelude::*;
 
     fn engine<'a>(
         arch: &'a ador_hw::Architecture,
@@ -1216,5 +1448,246 @@ mod tests {
             SimError::NoKvHeadroom { .. }
         ));
         assert_eq!(eng.submitted(), 0, "rejected submissions are not counted");
+    }
+
+    #[test]
+    fn backlog_is_maintained_incrementally() {
+        // The O(1) counter must track the queue-scan definition at every
+        // step (including through preemptions) and drain to zero.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(6.0, 8).with_kv_memory_fraction(0.05);
+        let mut eng = engine(&arch, &model, cfg);
+        for r in crate::RequestGenerator::new(6.0, TraceProfile::ultrachat_like(), 5).take(40) {
+            eng.submit(r).unwrap();
+            assert_eq!(eng.backlog_tokens(), eng.backlog_oracle());
+        }
+        loop {
+            assert_eq!(eng.backlog_tokens(), eng.backlog_oracle());
+            if eng.step().unwrap() == StepEvent::Idle {
+                break;
+            }
+        }
+        assert_eq!(eng.backlog_tokens(), 0, "drained engine has no backlog");
+    }
+
+    proptest! {
+        /// Seed-swept version of the incremental-backlog pin, over varied
+        /// load and KV pressure.
+        #[test]
+        fn backlog_matches_the_scan_oracle(
+            seed in 0u64..12,
+            rate in 1.0f64..12.0,
+        ) {
+            let arch = ador_table3();
+            let model = presets::llama3_8b();
+            let cfg = SimConfig::new(rate, 8).with_kv_memory_fraction(0.04);
+            let mut eng = engine(&arch, &model, cfg);
+            for r in crate::RequestGenerator::new(rate, TraceProfile::short_chat(), seed).take(25)
+            {
+                eng.submit(r).unwrap();
+            }
+            loop {
+                prop_assert_eq!(eng.backlog_tokens(), eng.backlog_oracle());
+                if eng.step().unwrap() == StepEvent::Idle {
+                    break;
+                }
+            }
+            prop_assert_eq!(eng.backlog_tokens(), 0);
+        }
+
+        /// Telemetry must be pure observation: enabling it changes no
+        /// outcome, report field or counter, for any seed.
+        #[test]
+        fn telemetry_never_perturbs_the_simulation(seed in 0u64..12) {
+            let arch = ador_table3();
+            let model = presets::llama3_8b();
+            let cfg = SimConfig::new(5.0, 16).with_requests(30).with_seed(seed);
+            let run = |cfg: SimConfig| {
+                let requests = crate::RequestGenerator::new(
+                    5.0, TraceProfile::ultrachat_like(), seed).take(30);
+                let mut eng = engine(&arch, &model, cfg);
+                for r in requests {
+                    eng.submit(r).unwrap();
+                }
+                while eng.step().unwrap() != StepEvent::Idle {}
+                (eng.report().unwrap(), eng.into_outcomes())
+            };
+            let off = run(cfg);
+            let traced = run(cfg.with_telemetry(
+                ador_telemetry::TelemetryConfig::trace()
+                    .with_series(Seconds::from_millis(50.0)),
+            ));
+            prop_assert_eq!(off, traced);
+        }
+    }
+
+    #[test]
+    fn trace_captures_the_request_lifecycle() {
+        // One lone request: the event stream is exactly
+        // enqueue → admit → prefill chunks → commits → complete.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8)
+            .with_prefill_chunk(512)
+            .with_telemetry(ador_telemetry::TelemetryConfig::trace());
+        let mut eng = engine(&arch, &model, cfg);
+        eng.submit(Request::new(7, Seconds::ZERO, 1024, 4)).unwrap();
+        while eng.step().unwrap() != StepEvent::Idle {}
+        let events = eng.take_event_sink().unwrap().drain();
+        assert!(eng.take_event_sink().is_none(), "sink was detached");
+        let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds[0], EventKind::Enqueue);
+        assert_eq!(kinds[1], EventKind::Admit { cached_tokens: 0 });
+        assert_eq!(
+            kinds[2..4],
+            [
+                EventKind::PrefillChunk { tokens: 512 },
+                EventKind::PrefillChunk { tokens: 512 },
+            ]
+        );
+        assert_eq!(*kinds.last().unwrap(), EventKind::Complete);
+        let commits = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Commit { committed, .. } => Some(committed),
+                _ => None,
+            })
+            .sum::<u32>();
+        assert_eq!(commits, 4, "every generated token is committed");
+        assert!(events.iter().all(|e| e.request == 7));
+        let times: Vec<Seconds> = events.iter().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "times are monotone");
+    }
+
+    #[test]
+    fn lifecycle_detail_elides_steady_commits_but_keeps_the_phase_structure() {
+        // Lifecycle detail drops only the steady one-token decode
+        // commits: what remains is a subset of the per-token stream,
+        // the non-commit events are untouched, and the phase spans —
+        // which only need the boundary commit — come out identical.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let run = |detail: EventDetail| {
+            let cfg = SimConfig::new(4.0, 16)
+                .with_telemetry(ador_telemetry::TelemetryConfig::trace().with_detail(detail));
+            let mut eng = engine(&arch, &model, cfg);
+            for r in crate::RequestGenerator::new(4.0, TraceProfile::short_chat(), 3).take(12) {
+                eng.submit(r).unwrap();
+            }
+            while eng.step().unwrap() != StepEvent::Idle {}
+            eng.take_event_sink().unwrap().drain()
+        };
+        let full = run(EventDetail::PerToken);
+        let lean = run(EventDetail::Lifecycle);
+
+        let is_commit = |e: &Event| matches!(e.kind, EventKind::Commit { .. });
+        let full_commits = full.iter().filter(|e| is_commit(e)).count();
+        let lean_commits = lean.iter().filter(|e| is_commit(e)).count();
+        assert!(
+            lean_commits < full_commits,
+            "steady commits are elided ({lean_commits} vs {full_commits})"
+        );
+        let non_commit = |events: &[Event]| -> Vec<Event> {
+            events.iter().filter(|e| !is_commit(e)).copied().collect()
+        };
+        assert_eq!(
+            non_commit(&full),
+            non_commit(&lean),
+            "only commit events differ between details"
+        );
+        let mut cursor = full.iter();
+        assert!(
+            lean.iter().all(|e| cursor.any(|f| f == e)),
+            "the lifecycle stream is an ordered subset of the per-token stream"
+        );
+        assert_eq!(
+            ador_telemetry::PhaseHistograms::from_events(&full),
+            ador_telemetry::PhaseHistograms::from_events(&lean),
+            "phase decomposition only needs the boundary commits"
+        );
+    }
+
+    #[test]
+    fn preemption_traces_a_preempt_then_resume() {
+        // Starve the KV budget so decode growth must evict the youngest;
+        // its trace shows Preempt followed by Resume, and the stream still
+        // completes every request.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8)
+            .with_kv_memory_fraction(0.005)
+            .with_telemetry(ador_telemetry::TelemetryConfig::trace());
+        let mut eng = engine(&arch, &model, cfg);
+        let budget = eng.kv_budget_tokens();
+        let slice = budget / 3;
+        for id in 0..4u64 {
+            eng.submit(Request::new(id, Seconds::ZERO, slice / 4, slice))
+                .unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert!(
+            eng.counters().preemptions > 0,
+            "config must force preemption"
+        );
+        let events = eng.take_event_sink().unwrap().drain();
+        let victim = events
+            .iter()
+            .find(|e| e.kind == EventKind::Preempt)
+            .unwrap()
+            .request;
+        let kinds: Vec<EventKind> = events
+            .iter()
+            .filter(|e| e.request == victim)
+            .map(|e| e.kind)
+            .collect();
+        let preempt_at = kinds.iter().position(|k| *k == EventKind::Preempt).unwrap();
+        assert!(
+            kinds[preempt_at..].contains(&EventKind::Resume),
+            "a preempted request resumes: {kinds:?}"
+        );
+        assert_eq!(*kinds.last().unwrap(), EventKind::Complete);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_the_tail() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(4.0, 16)
+            .with_telemetry(ador_telemetry::TelemetryConfig::flight_recorder(16));
+        let mut eng = engine(&arch, &model, cfg);
+        for r in crate::RequestGenerator::new(4.0, TraceProfile::short_chat(), 2).take(20) {
+            eng.submit(r).unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        let events = eng.take_event_sink().unwrap().drain();
+        assert_eq!(events.len(), 16, "ring is bounded at its capacity");
+        assert!(
+            events.iter().any(|e| e.kind == EventKind::Complete),
+            "the tail of the run includes the last completions"
+        );
+    }
+
+    #[test]
+    fn series_collector_samples_the_run() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(4.0, 16).with_telemetry(
+            ador_telemetry::TelemetryConfig::OFF.with_series(Seconds::from_millis(20.0)),
+        );
+        let mut eng = engine(&arch, &model, cfg);
+        for r in crate::RequestGenerator::new(4.0, TraceProfile::ultrachat_like(), 3).take(20) {
+            eng.submit(r).unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert!(eng.take_event_sink().is_none(), "no event sink requested");
+        let series = eng.take_series().unwrap().finish();
+        assert!(series.points.len() > 1, "a multi-second run yields points");
+        let t: Vec<Seconds> = series.points.iter().map(|p| p.time).collect();
+        assert!(t.windows(2).all(|w| w[0] < w[1]), "sample times increase");
+        assert!(series
+            .points
+            .iter()
+            .any(|p| p.active > 0 && p.kv_in_use > 0));
     }
 }

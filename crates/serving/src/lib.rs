@@ -93,3 +93,4 @@ pub use trace::TraceProfile;
 // (`ador-spec`); re-export the configuration surface so `SimConfig`
 // users need not name a second crate.
 pub use ador_spec::{SpeculationConfig, SpeculationPolicy};
+pub use ador_telemetry::{EventDetail, TelemetryConfig};

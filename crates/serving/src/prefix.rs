@@ -29,6 +29,8 @@
 
 use std::collections::BTreeMap;
 
+use ador_units::conv;
+
 use serde::Serialize;
 
 /// Tokens per prefix-cache block. Matching, sharing and eviction all
@@ -65,7 +67,7 @@ impl PrefixCacheStats {
         if seen == 0 {
             0.0
         } else {
-            self.hit_tokens as f64 / seen as f64
+            conv::f64_from_usize(self.hit_tokens) / conv::f64_from_usize(seen)
         }
     }
 }
@@ -330,7 +332,7 @@ impl PrefixCache {
 fn block_hash(group: u64, index: usize) -> u64 {
     splitmix64(
         group.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(
-            (index as u64)
+            conv::u64_from_usize(index)
                 .wrapping_add(1)
                 .wrapping_mul(0xBF58_476D_1CE4_E5B9),
         ),

@@ -1,6 +1,7 @@
 //! QoS aggregation: the "QoS Calculator" of Fig. 14b.
 
-use ador_units::Seconds;
+use ador_telemetry::LatencyHistogram;
+use ador_units::{conv, Seconds};
 use serde::Serialize;
 
 use crate::RequestOutcome;
@@ -38,10 +39,10 @@ impl LatencyStats {
         // ador-lint: allow(panic) — invariant: latencies are differences of finite sim times
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
         let pick = |q: f64| {
-            let rank = (q * sorted.len() as f64).ceil().max(1.0) as usize;
-            sorted[rank.min(sorted.len()) - 1]
+            let rank = conv::usize_from_f64((q * conv::f64_from_usize(sorted.len())).ceil());
+            sorted[rank.clamp(1, sorted.len()) - 1]
         };
-        let mean = sorted.iter().copied().sum::<Seconds>() / sorted.len() as f64;
+        let mean = sorted.iter().copied().sum::<Seconds>() / conv::f64_from_usize(sorted.len());
         Self {
             mean,
             p50: pick(0.50),
@@ -82,7 +83,7 @@ impl LatencyStats {
         );
         let weighted_mean = parts
             .iter()
-            .map(|&(s, n)| s.mean * (n as f64 / total as f64))
+            .map(|&(s, n)| s.mean * (conv::f64_from_usize(n) / conv::f64_from_usize(total)))
             .sum::<Seconds>();
         let fold = |pick: fn(&Self) -> Seconds| {
             parts
@@ -194,6 +195,16 @@ pub struct QosReport {
     pub accepted_tokens: usize,
     /// Drafted tokens the target model rejected.
     pub rejected_tokens: usize,
+    /// Log-bucketed TTFT population. Unlike the [`LatencyStats`] summary,
+    /// histograms merge exactly (bucket counts add), so fleet-level
+    /// percentiles derived from the merged histogram are within the bucket
+    /// width (6.25 %) of the true union percentile instead of a
+    /// max-over-replicas upper bound.
+    pub ttft_hist: LatencyHistogram,
+    /// Log-bucketed per-request mean-TBT population.
+    pub tbt_hist: LatencyHistogram,
+    /// Log-bucketed end-to-end latency population.
+    pub e2e_hist: LatencyHistogram,
 }
 
 impl QosReport {
@@ -224,9 +235,12 @@ impl QosReport {
             ttft: LatencyStats::from_samples(&ttfts),
             tbt: LatencyStats::from_samples(&tbts),
             e2e: LatencyStats::from_samples(&e2es),
-            requests_per_sec: outcomes.len() as f64 / span,
-            tokens_per_sec: tokens as f64 / span,
-            goodput_tokens_per_sec: good_tokens as f64 / span,
+            ttft_hist: LatencyHistogram::from_samples(&ttfts),
+            tbt_hist: LatencyHistogram::from_samples(&tbts),
+            e2e_hist: LatencyHistogram::from_samples(&e2es),
+            requests_per_sec: conv::f64_from_usize(outcomes.len()) / span,
+            tokens_per_sec: conv::f64_from_usize(tokens) / span,
+            goodput_tokens_per_sec: conv::f64_from_usize(good_tokens) / span,
             mean_batch: counters.mean_batch,
             peak_batch: counters.peak_batch,
             preemptions: counters.preemptions,
@@ -254,7 +268,7 @@ impl QosReport {
         if self.drafted_tokens == 0 {
             0.0
         } else {
-            self.accepted_tokens as f64 / self.drafted_tokens as f64
+            conv::f64_from_usize(self.accepted_tokens) / conv::f64_from_usize(self.drafted_tokens)
         }
     }
 
@@ -266,7 +280,7 @@ impl QosReport {
         if seen == 0 {
             0.0
         } else {
-            self.prefix_hit_tokens as f64 / seen as f64
+            conv::f64_from_usize(self.prefix_hit_tokens) / conv::f64_from_usize(seen)
         }
     }
 
@@ -278,9 +292,16 @@ impl QosReport {
     /// the summed totals (tokens are recovered as `rate × makespan` per
     /// replica, which is exact). `mean_batch` and `mean_queue_depth` are makespan-weighted,
     /// approximating a fleet-time average across replicas whose step
-    /// grids differ. Latency populations merge via [`LatencyStats::merge`]
-    /// weighted by completed count — see there for the percentile
-    /// upper-bound caveat.
+    /// grids differ.
+    ///
+    /// Latency populations merge through the log-bucketed histograms,
+    /// whose bucket counts add exactly: the fleet percentiles are read
+    /// from the merged histogram and land within one bucket (6.25 %)
+    /// above the true union percentile — far tighter than the
+    /// max-over-replicas upper bound [`LatencyStats::merge`] falls back
+    /// on when no histogram is available, yet still never *below* the
+    /// exact value, so fleet-level SLO checks stay conservative. Means
+    /// and maxima are exact. A single-report merge is the identity.
     ///
     /// # Panics
     ///
@@ -291,6 +312,9 @@ impl QosReport {
             !reports.is_empty() && completed > 0,
             "cannot merge reports with no completed requests"
         );
+        if let [only] = reports {
+            return only.clone();
+        }
         let makespan = reports
             .iter()
             .map(|r| r.makespan)
@@ -308,10 +332,22 @@ impl QosReport {
                     / total_span
             }
         };
-        let latency = |pick: fn(&QosReport) -> LatencyStats| {
-            let parts: Vec<(LatencyStats, usize)> =
-                reports.iter().map(|r| (pick(r), r.completed)).collect();
-            LatencyStats::merge(&parts)
+        let pooled = |pick: fn(&QosReport) -> &LatencyHistogram| {
+            let mut hist = LatencyHistogram::new();
+            for r in reports {
+                hist.merge(pick(r));
+            }
+            hist
+        };
+        let ttft_hist = pooled(|r| &r.ttft_hist);
+        let tbt_hist = pooled(|r| &r.tbt_hist);
+        let e2e_hist = pooled(|r| &r.e2e_hist);
+        let stats = |hist: &LatencyHistogram| LatencyStats {
+            mean: hist.mean(),
+            p50: hist.percentile(0.50),
+            p95: hist.percentile(0.95),
+            p99: hist.percentile(0.99),
+            max: hist.max(),
         };
         let tokens: f64 = reports
             .iter()
@@ -324,10 +360,13 @@ impl QosReport {
         Self {
             completed,
             makespan,
-            ttft: latency(|r| r.ttft),
-            tbt: latency(|r| r.tbt),
-            e2e: latency(|r| r.e2e),
-            requests_per_sec: completed as f64 / span,
+            ttft: stats(&ttft_hist),
+            tbt: stats(&tbt_hist),
+            e2e: stats(&e2e_hist),
+            ttft_hist,
+            tbt_hist,
+            e2e_hist,
+            requests_per_sec: conv::f64_from_usize(completed) / span,
             tokens_per_sec: tokens / span,
             goodput_tokens_per_sec: good_tokens / span,
             mean_batch: time_weighted(|r| r.mean_batch),
@@ -380,6 +419,9 @@ impl QosReport {
             ttft: exact.ttft,
             tbt: exact.tbt,
             e2e: exact.e2e,
+            ttft_hist: exact.ttft_hist,
+            tbt_hist: exact.tbt_hist,
+            e2e_hist: exact.e2e_hist,
             requests_per_sec: exact.requests_per_sec,
             tokens_per_sec: exact.tokens_per_sec,
             goodput_tokens_per_sec: exact.goodput_tokens_per_sec,
@@ -635,6 +677,46 @@ mod tests {
         assert_eq!(exact.completed, bound.completed);
         assert_eq!(exact.peak_batch, bound.peak_batch);
         assert_eq!(exact.preemptions, bound.preemptions);
+    }
+
+    #[test]
+    fn merged_histogram_percentiles_bracket_the_exact_union() {
+        // The histogram-backed merge must land between the exact union
+        // percentile and one bucket (6.25 %) above it — strictly tighter
+        // than the old max-over-replicas bound on imbalanced groups.
+        let fast: Vec<RequestOutcome> = (1..=90).map(|i| outcome(i, i as f64, 10.0)).collect();
+        let slow: Vec<RequestOutcome> = (91..=100)
+            .map(|i| outcome(i, i as f64 * 10.0, 10.0))
+            .collect();
+        let a = QosReport::from_outcomes(&fast, Seconds::new(4.0), EngineCounters::default());
+        let b = QosReport::from_outcomes(&slow, Seconds::new(9.0), EngineCounters::default());
+        let pooled: Vec<RequestOutcome> = fast.iter().chain(&slow).copied().collect();
+        let truth = QosReport::from_outcomes(&pooled, Seconds::new(9.0), EngineCounters::default());
+
+        let bound = LatencyStats::merge(&[(a.ttft, a.completed), (b.ttft, b.completed)]);
+        let merged = QosReport::merge(&[a, b]);
+        for (m, t) in [
+            (merged.ttft, truth.ttft),
+            (merged.tbt, truth.tbt),
+            (merged.e2e, truth.e2e),
+        ] {
+            for (got, exact) in [(m.p50, t.p50), (m.p95, t.p95), (m.p99, t.p99)] {
+                assert!(
+                    got >= exact && got <= exact * 1.0625,
+                    "merged percentile {got} must bracket exact {exact}"
+                );
+            }
+            assert_eq!(m.max, t.max, "maxima merge exactly");
+            assert!(
+                (m.mean.get() - t.mean.get()).abs() < 1e-9,
+                "means are exact"
+            );
+        }
+        // Strictly tighter than the max-over-replicas bound: the old path
+        // reported the slow replica's p50 (≈ 955 ms) as the fleet p50; the
+        // histogram stays within a bucket of the true 50 ms.
+        assert!(merged.ttft.p50 < bound.p50);
+        assert!(merged.ttft.p95 < bound.p95);
     }
 
     #[test]

@@ -37,6 +37,8 @@ use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::{Deployment, Evaluator, PerfError};
 use ador_spec::SpeculationConfig;
+use ador_telemetry::TelemetryConfig;
+use ador_units::conv;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{Engine, StepEvent};
@@ -86,6 +88,10 @@ pub struct SimConfig {
     /// bit-identical to the pre-speculation engine). See
     /// [`ador_spec`] for the policy/acceptance/cost model.
     pub speculation: SpeculationConfig,
+    /// Observability: event tracing and time-series collection
+    /// ([`TelemetryConfig::OFF`] by default, which is bit-identical to an
+    /// untraced engine). See [`ador_telemetry`] for the sinks.
+    pub telemetry: TelemetryConfig,
 }
 
 impl SimConfig {
@@ -103,6 +109,7 @@ impl SimConfig {
             policy: SchedulerPolicy::Fused,
             prefix_caching: false,
             speculation: SpeculationConfig::off(),
+            telemetry: TelemetryConfig::OFF,
         }
     }
 
@@ -151,6 +158,12 @@ impl SimConfig {
     /// Sets the speculative-decoding configuration.
     pub fn with_speculation(mut self, speculation: SpeculationConfig) -> Self {
         self.speculation = speculation;
+        self
+    }
+
+    /// Sets the telemetry configuration (event sink and series interval).
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }
@@ -251,12 +264,14 @@ impl<'a> ServingSim<'a> {
             return Err(SimError::EmptyConfig);
         }
         let evaluator = Evaluator::new(arch, model, deployment)?;
-        let devices = deployment.devices as u64;
+        let devices = conv::u64_from_usize(deployment.devices);
         let weights_per_dev = model.weight_bytes().get() / devices;
-        let available = arch.dram.capacity.get().saturating_sub(weights_per_dev) as f64
-            * cfg.kv_memory_fraction;
-        let kv_per_token_per_dev = model.kv_bytes_per_token().get() as f64 / devices as f64;
-        let budget_tokens = (available / kv_per_token_per_dev) as usize;
+        let available =
+            conv::f64_from_u64(arch.dram.capacity.get().saturating_sub(weights_per_dev))
+                * cfg.kv_memory_fraction;
+        let kv_per_token_per_dev =
+            conv::f64_from_u64(model.kv_bytes_per_token().get()) / conv::f64_from_u64(devices);
+        let budget_tokens = conv::usize_from_f64(available / kv_per_token_per_dev);
         if budget_tokens < model.max_seq_len.min(1024) {
             return Err(SimError::NoKvHeadroom { budget_tokens });
         }

@@ -1,0 +1,125 @@
+//! Chrome trace-event (Perfetto-loadable) JSON export.
+//!
+//! Renders a fleet run as a waterfall: one *process* per replica, one
+//! *track* per request, one complete (`"ph":"X"`) event per lifecycle
+//! phase span, and instant (`"ph":"i"`) markers for preemptions and
+//! sheds. Load the output in `chrome://tracing` or
+//! <https://ui.perfetto.dev>.
+//!
+//! The emitter is deliberately local (the telemetry crate sits below
+//! `ador-bench` in the dependency graph): every name it writes is a
+//! fixed ASCII literal and every number is finite, so the fragment
+//! assembly stays trivial. Output is a pure function of the event
+//! streams — same-seed runs export byte-identical traces.
+
+use crate::event::{Event, EventKind};
+use crate::phase::spans;
+
+/// Renders per-replica event streams (`replicas[r]` is replica `r`'s
+/// events in recording order) as one Chrome trace-event JSON document.
+///
+/// Timestamps (`ts`) and durations (`dur`) are microseconds of *sim
+/// time*, per the trace-event format. `pid` is the replica index and
+/// `tid` the request id, so the viewer groups tracks by replica and
+/// lines up each request's phases on one row.
+#[must_use]
+pub fn chrome_trace(replicas: &[Vec<Event>]) -> String {
+    let mut items: Vec<String> = Vec::new();
+    for (pid, events) in replicas.iter().enumerate() {
+        items.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"replica {pid}\"}}}}"
+        ));
+        for span in spans(events) {
+            let name = span.phase.label();
+            let ts = span.start.as_micros();
+            let dur = (span.end - span.start).as_micros();
+            items.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"request\",\"ph\":\"X\",\
+                 \"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur}}}",
+                tid = span.request,
+            ));
+        }
+        for e in events {
+            let name = match e.kind {
+                EventKind::Preempt => "preempt",
+                EventKind::Shed => "shed",
+                _ => continue,
+            };
+            items.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"request\",\"ph\":\"i\",\
+                 \"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"s\":\"t\"}}",
+                tid = e.request,
+                ts = e.time.as_micros(),
+            ));
+        }
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        items.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use ador_units::Seconds;
+
+    use super::*;
+
+    fn ev(t: f64, request: u64, kind: EventKind) -> Event {
+        Event {
+            time: Seconds::new(t),
+            request,
+            kind,
+        }
+    }
+
+    fn sample_stream() -> Vec<Event> {
+        vec![
+            ev(0.0, 1, EventKind::Enqueue),
+            ev(0.001, 1, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                0.002,
+                1,
+                EventKind::Commit {
+                    committed: 1,
+                    drafted: 0,
+                    accepted: 0,
+                },
+            ),
+            ev(0.003, 1, EventKind::Preempt),
+            ev(0.004, 1, EventKind::Resume),
+            ev(
+                0.005,
+                1,
+                EventKind::Commit {
+                    committed: 1,
+                    drafted: 0,
+                    accepted: 0,
+                },
+            ),
+            ev(0.006, 1, EventKind::Complete),
+        ]
+    }
+
+    #[test]
+    fn trace_contains_spans_markers_and_metadata() {
+        let doc = chrome_trace(&[sample_stream()]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"name\":\"replica 0\""));
+        assert!(doc.contains("\"name\":\"queue\""));
+        assert!(doc.contains("\"name\":\"prefill\""));
+        assert!(doc.contains("\"name\":\"decode\""));
+        assert!(doc.contains("\"name\":\"preempted\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        // Timestamps are microseconds: admit at 1 ms = 1000 µs.
+        assert!(doc.contains("\"ts\":1000"));
+    }
+
+    #[test]
+    fn export_is_a_pure_function_of_the_stream() {
+        let a = chrome_trace(&[sample_stream(), Vec::new()]);
+        let b = chrome_trace(&[sample_stream(), Vec::new()]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,290 @@
+//! Structured request-lifecycle events and the sinks that consume them.
+//!
+//! The engine emits one [`Event`] per request state transition, stamped
+//! with **sim time only** — the `ador-lint` wall-clock rule applies to
+//! this crate, so nothing here may read `Instant`/`SystemTime`. Sinks
+//! are passive observers: recording an event never mutates simulation
+//! state, which is what keeps the telemetry-off path bit-identical.
+
+use ador_units::Seconds;
+use serde::Serialize;
+
+/// What happened to a request at one point in its lifecycle.
+///
+/// Token counts are carried as `u32` (saturating; see
+/// `ador_units::conv::u32_from_usize`) so one [`Event`] packs into
+/// 32 bytes: the engine emits one event per committed token, and at
+/// fleet scale the ring-buffer write traffic of tens of millions of
+/// events is what the tracing overhead budget is spent on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum EventKind {
+    /// The request entered the engine's waiting queue (stamped with its
+    /// arrival time).
+    Enqueue,
+    /// The request was admitted into the running batch for the first
+    /// time.
+    Admit {
+        /// Prompt tokens served from the prefix cache on admission.
+        cached_tokens: u32,
+    },
+    /// A previously preempted request re-entered the running batch (its
+    /// context is recomputed from scratch).
+    Resume,
+    /// A chunk of the request's prompt was prefilled this step.
+    PrefillChunk {
+        /// Prompt tokens processed for this request in the step.
+        tokens: u32,
+    },
+    /// The request was evicted from the running batch (KV pressure or
+    /// the stuck-prefill guard) and returned to the front of the queue.
+    Preempt,
+    /// A decode step appended tokens to the request's output. With
+    /// speculative decoding off, `committed == 1` and the draft fields
+    /// are zero; with it on, the fields expose the verify outcome.
+    Commit {
+        /// Tokens appended to the output this step.
+        committed: u32,
+        /// Draft tokens proposed by the speculator this step.
+        drafted: u32,
+        /// Draft tokens accepted by verification this step.
+        accepted: u32,
+    },
+    /// The request produced its final token and left the engine.
+    Complete,
+    /// The cluster router shed the request (per-replica queue cap); it
+    /// never reached an engine.
+    Shed,
+}
+
+/// One timestamped lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Event {
+    /// Simulated time at which the transition happened.
+    pub time: Seconds,
+    /// Id of the request the event belongs to.
+    pub request: u64,
+    /// The transition itself.
+    pub kind: EventKind,
+}
+
+/// A consumer of lifecycle events.
+///
+/// Implementations must be passive (recording must not influence the
+/// simulation) and deterministic (no wall clock, no OS entropy) — the
+/// same event stream must produce the same sink state on every run.
+pub trait EventSink: std::fmt::Debug {
+    /// Records one event.
+    fn record(&mut self, event: &Event);
+
+    /// Removes and returns every buffered event, oldest first. Sinks
+    /// that do not buffer return an empty vector.
+    fn drain(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// An unbounded, in-order event log — the full-fidelity sink behind
+/// trace export. Memory grows with the run; prefer [`FlightRecorder`]
+/// for large fleets.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl EventSink for VecSink {
+    #[inline]
+    fn record(&mut self, event: &Event) {
+        self.events.push(*event);
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// A bounded ring buffer holding the most recent events — the
+/// "flight recorder" for post-mortem of requests that missed their SLO.
+/// Once full, each new event evicts the oldest one, so memory stays
+/// constant no matter how long the run is.
+///
+/// Recording is a single in-place overwrite on a flat buffer (no
+/// deque shuffling), because the engine emits one event per committed
+/// token: at fleet scale this runs tens of millions of times and is
+/// the dominant cost of turning tracing on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    /// Write cursor; once the buffer is full it is also the index of
+    /// the oldest retained event.
+    head: usize,
+    events: Vec<Event>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` events
+    /// (`capacity` is clamped to at least 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            head: 0,
+            events: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Maximum number of retained events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        // Until the buffer wraps, `head` is 0 and the second slice is
+        // empty; afterwards the oldest event sits at `head`.
+        let (newer, older) = (self.events.get(..self.head), self.events.get(self.head..));
+        older
+            .unwrap_or_default()
+            .iter()
+            .chain(newer.unwrap_or_default().iter())
+    }
+
+    /// The retained events for one request, oldest first — the
+    /// post-mortem view for a single SLO-missing request.
+    #[must_use]
+    pub fn for_request(&self, request: u64) -> Vec<Event> {
+        self.events()
+            .filter(|e| e.request == request)
+            .copied()
+            .collect()
+    }
+}
+
+impl EventSink for FlightRecorder {
+    #[inline]
+    fn record(&mut self, event: &Event) {
+        if self.events.len() < self.capacity {
+            self.events.push(*event);
+        } else if let Some(slot) = self.events.get_mut(self.head) {
+            *slot = *event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+        }
+    }
+
+    fn drain(&mut self) -> Vec<Event> {
+        let drained = self.events().copied().collect();
+        self.events.clear();
+        self.head = 0;
+        drained
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: f64, request: u64, kind: EventKind) -> Event {
+        Event {
+            time: Seconds::new(t),
+            request,
+            kind,
+        }
+    }
+
+    #[test]
+    fn vec_sink_preserves_order_and_drains() {
+        let mut sink = VecSink::new();
+        sink.record(&ev(0.0, 1, EventKind::Enqueue));
+        sink.record(&ev(0.5, 1, EventKind::Admit { cached_tokens: 0 }));
+        assert_eq!(sink.events().len(), 2);
+        let drained = sink.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].kind, EventKind::Enqueue);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_the_most_recent_events() {
+        let mut ring = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            ring.record(&ev(i as f64, i, EventKind::Enqueue));
+        }
+        assert_eq!(ring.len(), 3);
+        let kept: Vec<u64> = ring.events().map(|e| e.request).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn flight_recorder_filters_per_request() {
+        let mut ring = FlightRecorder::new(8);
+        ring.record(&ev(0.0, 7, EventKind::Enqueue));
+        ring.record(&ev(0.1, 9, EventKind::Enqueue));
+        ring.record(&ev(0.2, 7, EventKind::Complete));
+        let seven = ring.for_request(7);
+        assert_eq!(seven.len(), 2);
+        assert_eq!(seven[1].kind, EventKind::Complete);
+        assert_eq!(ring.for_request(8), Vec::new());
+    }
+
+    #[test]
+    fn events_stay_one_32_byte_slot() {
+        // The tracing overhead budget (BENCH_telemetry.json) is spent
+        // almost entirely on ring writes; growing the event struct
+        // grows that traffic proportionally. Widen deliberately or
+        // repack, don't drift.
+        assert!(std::mem::size_of::<Event>() <= 32);
+    }
+
+    #[test]
+    fn flight_recorder_drains_oldest_first_after_wrapping() {
+        let mut ring = FlightRecorder::new(4);
+        for i in 0..11u64 {
+            ring.record(&ev(i as f64, i, EventKind::Enqueue));
+        }
+        let drained: Vec<u64> = ring.drain().iter().map(|e| e.request).collect();
+        assert_eq!(drained, vec![7, 8, 9, 10]);
+        assert!(ring.is_empty(), "drain resets the ring");
+        ring.record(&ev(99.0, 99, EventKind::Complete));
+        let kept: Vec<u64> = ring.events().map(|e| e.request).collect();
+        assert_eq!(kept, vec![99], "the ring is reusable after a drain");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(&ev(0.0, 1, EventKind::Enqueue));
+        ring.record(&ev(1.0, 2, EventKind::Enqueue));
+        assert_eq!(ring.len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Deterministic observability for the ADOR serving simulator.
+//!
+//! Production serving stacks explain *why* a request missed its latency
+//! target — queue wait vs chunked-prefill interference vs preemption vs
+//! verify stalls — not just that it did. This crate gives the simulator
+//! the same visibility without compromising the property everything
+//! else rests on: determinism. Four pieces:
+//!
+//! * [`Event`]/[`EventSink`] — structured request-lifecycle events
+//!   (enqueue, admit, prefill-chunk, preempt, resume, commit, complete,
+//!   shed) stamped with **sim time only**, plus the bounded
+//!   [`FlightRecorder`] ring for post-mortems of SLO-missing requests;
+//! * [`LatencyHistogram`] — log-bucketed (HDR-style) histograms whose
+//!   fixed bucket boundaries make merging exact, backing pooled
+//!   percentile merges and the per-phase decompositions in
+//!   [`PhaseHistograms`];
+//! * [`SeriesCollector`]/[`TimeSeries`] — windowed time series (queue
+//!   depth, KV occupancy, prefix hit rate, acceptance rate, goodput)
+//!   sampled on a configurable sim-time interval;
+//! * [`chrome_trace`] — a Chrome trace-event (Perfetto-loadable) JSON
+//!   exporter rendering a fleet run as a per-replica/per-request
+//!   waterfall.
+//!
+//! Everything is **zero-overhead when off**: the engine emits nothing
+//! unless a sink is installed, and sinks are passive, so the
+//! telemetry-off path is bit-identical to a build without this crate.
+//! The `ador-lint` determinism rules (no wall clock, no OS entropy, no
+//! unordered iteration) apply to this crate exactly as to the sim
+//! crates it observes.
+//!
+//! # Examples
+//!
+//! ```
+//! use ador_telemetry::{chrome_trace, Event, EventKind, EventSink, VecSink};
+//! use ador_units::Seconds;
+//!
+//! let mut sink = VecSink::new();
+//! sink.record(&Event {
+//!     time: Seconds::ZERO,
+//!     request: 1,
+//!     kind: EventKind::Enqueue,
+//! });
+//! sink.record(&Event {
+//!     time: Seconds::from_millis(3.0),
+//!     request: 1,
+//!     kind: EventKind::Admit { cached_tokens: 0 },
+//! });
+//! let trace = chrome_trace(&[sink.drain()]);
+//! assert!(trace.contains("\"name\":\"queue\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod hist;
+mod phase;
+mod series;
+
+pub use chrome::chrome_trace;
+pub use event::{Event, EventKind, EventSink, FlightRecorder, VecSink};
+pub use hist::{LatencyHistogram, SUB_BUCKETS};
+pub use phase::{spans, Phase, PhaseHistograms, Span};
+pub use series::{goodput_series, SeriesCollector, SeriesPoint, SeriesSample, TimeSeries};
+
+use ador_units::Seconds;
+use serde::{Deserialize, Serialize};
+
+/// Which event sink the engine installs at construction.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventSinkKind {
+    /// No sink: the zero-overhead default.
+    #[default]
+    Off,
+    /// Unbounded in-order log ([`VecSink`]) — full-fidelity tracing;
+    /// memory grows with the run.
+    Log,
+    /// Bounded ring ([`FlightRecorder`]) keeping the most recent
+    /// events — constant memory, for always-on fleet runs.
+    Ring {
+        /// Maximum retained events.
+        capacity: usize,
+    },
+}
+
+/// How much of the decode path lands in the event stream.
+///
+/// Decode commits are the event flood: one per request per step, so a
+/// fleet run emits tens of millions of them, and they dominate the
+/// cost of tracing. The phase structure of a request — where
+/// [`PhaseHistograms`] and [`chrome_trace`] get their spans — only
+/// needs the *first* commit after each admission or resume, so the
+/// always-on production configuration can elide the steady one-token
+/// commits and keep everything else.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventDetail {
+    /// Every lifecycle transition, including one `Commit` per decode
+    /// step per request — full-fidelity per-token timing (the default).
+    #[default]
+    PerToken,
+    /// Phase boundaries only: `Commit` is emitted for a request's
+    /// first tokens after admission or resume, and for any verify step
+    /// that carried speculative drafts (the verify outcome is the
+    /// payload). Steady single-token decode steps are elided — their
+    /// aggregate rate is still visible in the windowed time series.
+    Lifecycle,
+}
+
+/// Telemetry configuration threaded through `SimConfig`/`ClusterConfig`.
+///
+/// The default ([`TelemetryConfig::OFF`]) records nothing and adds no
+/// work to the hot path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Lifecycle-event sink to install.
+    pub events: EventSinkKind,
+    /// Decode-path granularity of the event stream.
+    pub detail: EventDetail,
+    /// Time-series sampling interval; `None` disables collection.
+    pub series_interval: Option<Seconds>,
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    pub const OFF: Self = Self {
+        events: EventSinkKind::Off,
+        detail: EventDetail::PerToken,
+        series_interval: None,
+    };
+
+    /// Full-fidelity tracing: unbounded event log, no time series.
+    #[must_use]
+    pub fn trace() -> Self {
+        Self {
+            events: EventSinkKind::Log,
+            ..Self::OFF
+        }
+    }
+
+    /// Flight-recorder mode: bounded ring of the last `capacity`
+    /// events.
+    #[must_use]
+    pub fn flight_recorder(capacity: usize) -> Self {
+        Self {
+            events: EventSinkKind::Ring { capacity },
+            ..Self::OFF
+        }
+    }
+
+    /// Adds windowed time-series sampling every `interval` of sim time.
+    #[must_use]
+    pub fn with_series(mut self, interval: Seconds) -> Self {
+        self.series_interval = Some(interval);
+        self
+    }
+
+    /// Sets the decode-path event granularity (see [`EventDetail`]).
+    #[must_use]
+    pub fn with_detail(mut self, detail: EventDetail) -> Self {
+        self.detail = detail;
+        self
+    }
+
+    /// True when any telemetry is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.events_enabled() || self.series_interval.is_some()
+    }
+
+    /// True when an event sink is requested.
+    #[must_use]
+    pub fn events_enabled(&self) -> bool {
+        self.events != EventSinkKind::Off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_the_default_and_disabled() {
+        assert_eq!(TelemetryConfig::default(), TelemetryConfig::OFF);
+        assert!(!TelemetryConfig::OFF.enabled());
+        assert!(TelemetryConfig::trace().events_enabled());
+        assert!(TelemetryConfig::flight_recorder(1024).events_enabled());
+        let cfg = TelemetryConfig::OFF.with_series(Seconds::new(1.0));
+        assert!(cfg.enabled() && !cfg.events_enabled());
+    }
+
+    #[test]
+    fn detail_defaults_to_per_token_and_is_configurable() {
+        assert_eq!(TelemetryConfig::trace().detail, EventDetail::PerToken);
+        let cfg = TelemetryConfig::flight_recorder(64).with_detail(EventDetail::Lifecycle);
+        assert_eq!(cfg.detail, EventDetail::Lifecycle);
+        assert!(cfg.events_enabled());
+    }
+}

@@ -35,6 +35,7 @@ mod macros;
 mod area;
 mod bytes;
 mod compute;
+pub mod conv;
 mod ratio;
 mod time;
 

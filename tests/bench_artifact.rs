@@ -20,3 +20,22 @@ fn committed_bench_cluster_grid_is_valid() {
     ador_bench::schema::validate_bench_cluster(&text)
         .unwrap_or_else(|e| panic!("BENCH_cluster.json failed its schema: {e}"));
 }
+
+/// `BENCH_telemetry.json` — the telemetry-overhead grid emitted by
+/// `cargo bench -p ador-bench --bench bench_telemetry`. Beyond cell
+/// structure, the schema enforces the observability budget: at the
+/// 100k-request scale, tracing-on wall-clock stays within 10 % of
+/// tracing-off, and every measured cell re-verified that telemetry did
+/// not perturb the fleet report.
+#[test]
+fn committed_bench_telemetry_grid_is_valid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_telemetry.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_telemetry.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p ador-bench --bench bench_telemetry`): {e}"
+        )
+    });
+    ador_bench::schema::validate_bench_telemetry(&text)
+        .unwrap_or_else(|e| panic!("BENCH_telemetry.json failed its schema: {e}"));
+}

@@ -1,0 +1,105 @@
+//! End-to-end observability contracts: same-seed runs export
+//! byte-identical traces, and the Chrome trace-event JSON round-trips
+//! through the `ador_bench` parser (i.e. it is real JSON a Perfetto
+//! import will accept, not just a string that looks like it).
+
+use ador::cluster::{ClusterConfig, ClusterSim, FleetReport, RouterPolicy, TenantClass, TenantMix};
+use ador::model::presets;
+use ador::perf::Deployment;
+use ador::serving::SimConfig;
+use ador::telemetry::{chrome_trace, TelemetryConfig};
+use ador::units::Seconds;
+use ador_bench::json::{self, Value};
+
+fn traced_fleet(seed: u64) -> FleetReport {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mix = TenantMix::new(vec![
+        TenantClass::chatbot(4.0),
+        TenantClass::summarization(2.0),
+    ]);
+    let cfg = ClusterConfig::new(2, RouterPolicy::JoinShortestQueue)
+        .with_engine(SimConfig::new(1.0, 32))
+        .with_telemetry(TelemetryConfig::trace().with_series(Seconds::from_millis(100.0)));
+    ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+        .expect("fleet builds")
+        .run(&mix, 80, seed)
+        .expect("fleet runs")
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_traces() {
+    let a = traced_fleet(13);
+    let b = traced_fleet(13);
+    let ta = a.telemetry.expect("traced");
+    let tb = b.telemetry.expect("traced");
+    assert_eq!(ta.events, tb.events, "event streams must be deterministic");
+    assert_eq!(ta.series, tb.series, "time series must be deterministic");
+    assert_eq!(
+        chrome_trace(&ta.events),
+        chrome_trace(&tb.events),
+        "exported trace must be byte-identical across same-seed runs"
+    );
+}
+
+#[test]
+fn chrome_trace_round_trips_through_the_json_parser() {
+    let report = traced_fleet(13);
+    let telemetry = report.telemetry.expect("traced");
+    let trace = chrome_trace(&telemetry.events);
+    let doc = json::parse(&trace).expect("exported trace must be valid JSON");
+
+    let events = doc
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "a completed run produces trace events");
+
+    // Every event carries the Chrome trace-event required fields, and
+    // the complete ("X") events have non-negative durations.
+    let mut complete = 0;
+    for e in events {
+        let ph = e.get("ph").and_then(Value::as_str).expect("ph field");
+        e.get("pid").and_then(Value::as_f64).expect("pid field");
+        assert!(
+            e.get("name").and_then(Value::as_str).is_some(),
+            "name field"
+        );
+        match ph {
+            "X" => {
+                complete += 1;
+                let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+                let dur = e.get("dur").and_then(Value::as_f64).expect("dur");
+                assert!(ts >= 0.0 && dur >= 0.0, "ts {ts}, dur {dur}");
+            }
+            "i" | "M" => {}
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(complete > 0, "phase spans must appear as complete events");
+}
+
+#[test]
+fn tracing_leaves_the_fleet_report_unchanged() {
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mix = TenantMix::new(vec![
+        TenantClass::chatbot(4.0),
+        TenantClass::summarization(2.0),
+    ]);
+    let run = |telemetry: TelemetryConfig| {
+        let cfg = ClusterConfig::new(2, RouterPolicy::LeastKvLoad)
+            .with_engine(SimConfig::new(1.0, 32))
+            .with_telemetry(telemetry);
+        ClusterSim::new(&arch, &model, Deployment::single_device(), cfg)
+            .expect("fleet builds")
+            .run(&mix, 80, 17)
+            .expect("fleet runs")
+    };
+    let off = run(TelemetryConfig::OFF);
+    assert!(off.telemetry.is_none(), "untraced runs carry no telemetry");
+    let mut on =
+        run(TelemetryConfig::flight_recorder(4096).with_series(Seconds::from_millis(50.0)));
+    assert!(on.telemetry.take().is_some());
+    assert_eq!(on, off, "telemetry must observe, never perturb");
+}
