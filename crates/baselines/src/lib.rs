@@ -174,7 +174,59 @@ pub fn ador_table3() -> Architecture {
         .build()
 }
 
-/// Every baseline, for registry-style iteration (Fig. 4 sweeps).
+/// Prefill-optimized ADOR variant for disaggregated fleets: the Table III
+/// fabric grown to 48 cores (1.5× the MAC budget, ~627 TFLOPS) on the
+/// *same* 2 TB/s HBM2e stack. Prefill is compute-bound, so the extra
+/// arrays convert directly into TTFT; the unchanged DRAM makes it a poor
+/// decode chip, which is the point of pairing it with
+/// [`decode_optimized`].
+pub fn prefill_optimized() -> Architecture {
+    Architecture::builder("Prefill-Optimized")
+        .cores(48)
+        .systolic_array(SystolicArray::square(64))
+        .mac_tree(MacTree::new(16, 16))
+        .local_memory(Bytes::from_kib(2048))
+        .global_memory(Bytes::from_mib(16))
+        .dram(DramSpec::hbm2e(
+            Bytes::from_gib(80),
+            Bandwidth::from_tbps(2.0),
+        ))
+        .noc_bandwidth(Bandwidth::from_gbps(256.0))
+        .p2p_bandwidth(Bandwidth::from_gbps(64.0))
+        .frequency(Frequency::from_mhz(1500.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::ador_template())
+        .build()
+}
+
+/// Decode-optimized ADOR variant for disaggregated fleets: a 16-core
+/// fabric (~209 TFLOPS — decode GEMV never fills the arrays anyway) under
+/// a 3.2 TB/s HBM3 stack with wider MAC trees. Batched decode is
+/// DRAM-bandwidth-bound, so the 1.6× stack buys TBT directly; the thin
+/// compute makes it a poor prefill chip.
+pub fn decode_optimized() -> Architecture {
+    Architecture::builder("Decode-Optimized")
+        .cores(16)
+        .systolic_array(SystolicArray::square(64))
+        .mac_tree(MacTree::new(16, 32))
+        .local_memory(Bytes::from_kib(2048))
+        .global_memory(Bytes::from_mib(16))
+        .dram(DramSpec::hbm3(
+            Bytes::from_gib(96),
+            Bandwidth::from_tbps(3.2),
+        ))
+        .noc_bandwidth(Bandwidth::from_gbps(256.0))
+        .p2p_bandwidth(Bandwidth::from_gbps(64.0))
+        .frequency(Frequency::from_mhz(1500.0))
+        .process(ProcessNode::N7)
+        .profile(PerfProfile::ador_template())
+        .build()
+}
+
+/// Every baseline, for registry-style iteration (Fig. 4 sweeps). The
+/// disaggregation specials ([`prefill_optimized`], [`decode_optimized`])
+/// are deliberately *not* here — they are fleet-role chips, not paper
+/// comparison columns — but [`by_name`] finds them.
 pub fn registry() -> Vec<Architecture> {
     vec![
         a100(),
@@ -187,18 +239,21 @@ pub fn registry() -> Vec<Architecture> {
     ]
 }
 
-/// Looks up a baseline by (case-insensitive) name.
+/// Looks up a device by (case-insensitive) name: the [`registry`]
+/// baselines plus the disaggregation specials.
 ///
 /// # Examples
 ///
 /// ```
 /// assert!(ador_baselines::by_name("nvidia a100").is_some());
+/// assert!(ador_baselines::by_name("decode-optimized").is_some());
 /// assert!(ador_baselines::by_name("unknown").is_none());
 /// ```
 pub fn by_name(name: &str) -> Option<Architecture> {
     let needle = name.to_ascii_lowercase();
     registry()
         .into_iter()
+        .chain([prefill_optimized(), decode_optimized()])
         .find(|a| a.name.to_ascii_lowercase() == needle)
 }
 
@@ -269,5 +324,21 @@ mod tests {
     fn lookup_by_name() {
         assert_eq!(by_name("ador design").unwrap().cores, 32);
         assert!(by_name("LLMCompass-T").is_some());
+        assert_eq!(by_name("prefill-optimized").unwrap().cores, 48);
+        assert_eq!(by_name("Decode-Optimized").unwrap().cores, 16);
+    }
+
+    #[test]
+    fn disagg_specials_are_valid_and_specialized() {
+        let p = prefill_optimized();
+        let d = decode_optimized();
+        assert!(p.validate().is_ok() && d.validate().is_ok());
+        // The prefill chip out-computes; the decode chip out-streams.
+        assert!(p.peak_flops() > d.peak_flops());
+        assert!(d.dram.bandwidth > p.dram.bandwidth);
+        // Neither leaks into the pinned paper registry.
+        assert!(registry()
+            .iter()
+            .all(|a| a.name != p.name && a.name != d.name));
     }
 }

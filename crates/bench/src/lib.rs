@@ -408,6 +408,140 @@ pub mod schema {
         Ok(())
     }
 
+    /// Validates a `BENCH_disagg.json` document (emitted by the
+    /// `exp_disagg` target): the fleet co-exploration result.
+    ///
+    /// Checked invariants, not specific values — so a `--quick` smoke
+    /// run and the full committed result both pass:
+    /// - top-level object named `"bench_disagg"` with positive `rate`,
+    ///   `replicas` and `requests`, a numeric `seed`, a
+    ///   `target_attainment` in `(0, 1]` and a boolean `quick` flag;
+    /// - a non-empty `candidates` array; every candidate has a non-empty
+    ///   `label`, an `attainment` in `[0, 1]`, finite non-negative
+    ///   `goodput_tokens_per_sec` / `ttft_p95_ms` / `tbt_p95_ms`, boolean
+    ///   `disaggregated` / `meets_target` flags, and pool sizes that sum
+    ///   to `replicas` when disaggregated (aggregated candidates field
+    ///   the whole fleet in both pools);
+    /// - a `winner` and a `best_homogeneous` object of the same shape,
+    ///   with `best_homogeneous.disaggregated == false`;
+    /// - `disagg_wins` must be `true` unless `quick` is — the committed
+    ///   full-run artifact carries the pinned disaggregation win.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_bench_disagg(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing `name`")?;
+        if name != "bench_disagg" {
+            return Err(format!("unexpected artifact name `{name}`"));
+        }
+        let positive = |key: &str| -> Result<f64, String> {
+            let x = doc
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or(format!("missing `{key}`"))?;
+            if !(x > 0.0 && x.is_finite()) {
+                return Err(format!("`{key}` must be positive, got {x}"));
+            }
+            Ok(x)
+        };
+        positive("rate")?;
+        let replicas = positive("replicas")?;
+        positive("requests")?;
+        doc.get("seed")
+            .and_then(Value::as_f64)
+            .ok_or("missing `seed`")?;
+        let target = positive("target_attainment")?;
+        if target > 1.0 {
+            return Err(format!("target_attainment {target} above 1"));
+        }
+        let quick = doc
+            .get("quick")
+            .and_then(Value::as_bool)
+            .ok_or("missing `quick`")?;
+
+        let check_candidate = |c: &Value, what: &str| -> Result<(), String> {
+            if c.get("label")
+                .and_then(Value::as_str)
+                .is_none_or(str::is_empty)
+            {
+                return Err(format!("{what}: missing or empty `label`"));
+            }
+            let attainment = c
+                .get("attainment")
+                .and_then(Value::as_f64)
+                .ok_or(format!("{what}: missing `attainment`"))?;
+            if !(0.0..=1.0).contains(&attainment) {
+                return Err(format!("{what}: attainment {attainment} outside [0, 1]"));
+            }
+            for key in ["goodput_tokens_per_sec", "ttft_p95_ms", "tbt_p95_ms"] {
+                let x = c
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("{what}: missing `{key}`"))?;
+                if !(x >= 0.0 && x.is_finite()) {
+                    return Err(format!("{what}: `{key}` must be non-negative, got {x}"));
+                }
+            }
+            let disagg = c
+                .get("disaggregated")
+                .and_then(Value::as_bool)
+                .ok_or(format!("{what}: missing `disaggregated`"))?;
+            c.get("meets_target")
+                .and_then(Value::as_bool)
+                .ok_or(format!("{what}: missing `meets_target`"))?;
+            let pool = |key: &str| {
+                c.get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("{what}: missing `{key}`"))
+            };
+            let (prefill, decode) = (pool("prefill_replicas")?, pool("decode_replicas")?);
+            let iso_count = if disagg {
+                prefill + decode == replicas
+            } else {
+                prefill == replicas && decode == replicas
+            };
+            if !iso_count {
+                return Err(format!(
+                    "{what}: pools {prefill}+{decode} inconsistent with {replicas} replicas"
+                ));
+            }
+            Ok(())
+        };
+
+        let candidates = doc
+            .get("candidates")
+            .and_then(Value::as_array)
+            .ok_or("missing `candidates` array")?;
+        if candidates.is_empty() {
+            return Err("empty `candidates` array".to_string());
+        }
+        for (i, c) in candidates.iter().enumerate() {
+            check_candidate(c, &format!("candidate {i}"))?;
+        }
+        let winner = doc.get("winner").ok_or("missing `winner`")?;
+        check_candidate(winner, "winner")?;
+        let homog = doc
+            .get("best_homogeneous")
+            .ok_or("missing `best_homogeneous`")?;
+        check_candidate(homog, "best_homogeneous")?;
+        if homog.get("disaggregated").and_then(Value::as_bool) != Some(false) {
+            return Err("best_homogeneous must be an aggregated candidate".to_string());
+        }
+        let wins = doc
+            .get("disagg_wins")
+            .and_then(Value::as_bool)
+            .ok_or("missing `disagg_wins`")?;
+        if !quick && !wins {
+            return Err("full-run artifact must carry the disaggregation win".to_string());
+        }
+        Ok(())
+    }
+
     /// Request count above which [`validate_bench_telemetry`] enforces
     /// the overhead budget. Smaller cells (including the `--quick` smoke
     /// grid) are dominated by fixed costs and wall-clock noise, so only
@@ -716,5 +850,91 @@ mod tests {
         let renamed = telemetry_doc(&[telemetry_cell(600.0, 0.01, 0.011, true)])
             .replace("bench_telemetry", "bench_other");
         assert!(validate(&renamed).is_err());
+    }
+
+    fn disagg_candidate(
+        label: &str,
+        prefill: f64,
+        decode: f64,
+        disagg: bool,
+        attainment: f64,
+    ) -> String {
+        json::object(&[
+            ("label", json::string(label)),
+            ("policy", json::string("join-shortest-queue")),
+            (
+                "decode_policy",
+                if disagg {
+                    json::string("least-kv-load")
+                } else {
+                    "null".to_string()
+                },
+            ),
+            ("prefill_replicas", json::num(prefill)),
+            ("decode_replicas", json::num(decode)),
+            ("disaggregated", disagg.to_string()),
+            ("attainment", json::num(attainment)),
+            ("goodput_tokens_per_sec", json::num(3000.0)),
+            ("ttft_p95_ms", json::num(800.0)),
+            ("tbt_p95_ms", json::num(12.0)),
+            ("kv_transfers", json::num(if disagg { 400.0 } else { 0.0 })),
+            ("meets_target", (attainment >= 0.9).to_string()),
+        ])
+    }
+
+    fn disagg_doc(quick: bool, wins: bool, winner: &str, homog: &str) -> String {
+        json::object(&[
+            ("name", json::string("bench_disagg")),
+            ("rate", json::num(30.0)),
+            ("seed", json::num(29.0)),
+            ("replicas", json::num(4.0)),
+            ("requests", json::num(400.0)),
+            ("target_attainment", json::num(0.9)),
+            ("quick", quick.to_string()),
+            (
+                "candidates",
+                json::array(&[winner.to_string(), homog.to_string()]),
+            ),
+            ("winner", winner.to_string()),
+            ("best_homogeneous", homog.to_string()),
+            ("disagg_wins", wins.to_string()),
+        ])
+    }
+
+    #[test]
+    fn bench_disagg_schema_accepts_full_and_quick_artifacts() {
+        let winner = disagg_candidate("disagg 2xP + 2xD", 2.0, 2.0, true, 0.97);
+        let homog = disagg_candidate("4xUnified [jsq]", 4.0, 4.0, false, 0.92);
+        crate::schema::validate_bench_disagg(&disagg_doc(false, true, &winner, &homog)).unwrap();
+        // A quick smoke artifact is exempt from the win requirement.
+        crate::schema::validate_bench_disagg(&disagg_doc(true, false, &winner, &homog)).unwrap();
+    }
+
+    #[test]
+    fn bench_disagg_schema_rejects_structural_violations() {
+        let validate = crate::schema::validate_bench_disagg;
+        let winner = disagg_candidate("disagg 2xP + 2xD", 2.0, 2.0, true, 0.97);
+        let homog = disagg_candidate("4xUnified [jsq]", 4.0, 4.0, false, 0.92);
+        assert!(validate("not json").is_err());
+        assert!(
+            validate(&disagg_doc(false, false, &winner, &homog)).is_err(),
+            "full artifact must carry the disaggregation win"
+        );
+        assert!(
+            validate(&disagg_doc(false, true, &winner, &winner)).is_err(),
+            "best_homogeneous must be aggregated"
+        );
+        let short_pools = disagg_candidate("disagg 1xP + 2xD", 1.0, 2.0, true, 0.97);
+        assert!(
+            validate(&disagg_doc(false, true, &short_pools, &homog)).is_err(),
+            "disaggregated pools must sum to the fleet size"
+        );
+        let over_attained = disagg_candidate("disagg 2xP + 2xD", 2.0, 2.0, true, 1.2);
+        assert!(
+            validate(&disagg_doc(false, true, &over_attained, &homog)).is_err(),
+            "attainment above 1"
+        );
+        let renamed = disagg_doc(false, true, &winner, &homog).replace("bench_disagg", "other");
+        assert!(validate(&renamed).is_err(), "wrong artifact name");
     }
 }

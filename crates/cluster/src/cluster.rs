@@ -19,15 +19,17 @@ use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use ador_hw::Architecture;
 use ador_model::ModelConfig;
 use ador_perf::Deployment;
-use ador_serving::{Engine, QosReport, RequestOutcome, ServingSim, SimConfig, SimError};
+use ador_serving::{
+    Engine, EngineCounters, QosReport, Request, RequestOutcome, ServingSim, SimConfig, SimError,
+};
 use ador_telemetry::{goodput_series, Event, EventKind, TelemetryConfig, TimeSeries};
 use ador_units::{conv, Seconds};
 use serde::Serialize;
 
 use crate::report::{imbalance, FleetTelemetry};
 use crate::{
-    ClusterRequest, FleetReport, ReplicaSnapshot, Router, RouterPolicy, TenantClass, TenantMix,
-    TenantQos,
+    ClusterRequest, FleetReport, FleetSpec, KvLink, PoolRole, ReplicaSnapshot, Router,
+    RouterPolicy, TenantClass, TenantMix, TenantQos, Topology,
 };
 
 /// How the fleet driver advances its replicas.
@@ -76,6 +78,16 @@ pub struct ClusterConfig {
     /// lockstep oracle produce identical reports; the knob exists for
     /// regression testing and the `bench_cluster` wall-clock comparison.
     pub drive: DriveMode,
+    /// How the fleet divides request lifecycles across replicas
+    /// ([`Topology::Aggregated`] by default; see
+    /// [`ClusterConfig::with_disaggregation`]).
+    pub topology: Topology,
+    /// The decode-pool routing policy of a disaggregated fleet (ignored
+    /// under [`Topology::Aggregated`]). Defaults to
+    /// [`RouterPolicy::LeastKvLoad`]: decode replicas are KV-residency
+    /// bound, so token demand — not request count — is the scarce
+    /// resource worth balancing there.
+    pub decode_policy: RouterPolicy,
 }
 
 impl ClusterConfig {
@@ -88,7 +100,26 @@ impl ClusterConfig {
             queue_cap: None,
             engine: SimConfig::new(1.0, 128),
             drive: DriveMode::EventDriven,
+            topology: Topology::Aggregated,
+            decode_policy: RouterPolicy::LeastKvLoad,
         }
+    }
+
+    /// Switches the fleet to prefill/decode disaggregation over `link`:
+    /// fresh prompts are routed within the prefill pool under
+    /// [`ClusterConfig::policy`]; each finished context is shipped over
+    /// `link` (latency plus tokens × KV-bytes-per-token at link
+    /// bandwidth, charged on the event clock) and decodes on a replica
+    /// chosen by [`ClusterConfig::decode_policy`].
+    pub fn with_disaggregation(mut self, link: KvLink) -> Self {
+        self.topology = Topology::Disaggregated(link);
+        self
+    }
+
+    /// Sets the decode-pool routing policy of a disaggregated fleet.
+    pub fn with_decode_policy(mut self, policy: RouterPolicy) -> Self {
+        self.decode_policy = policy;
+        self
     }
 
     /// Sets the per-replica engine configuration.
@@ -175,6 +206,41 @@ impl Ord for ReadyAt {
     }
 }
 
+/// A KV-context transfer in flight between pools: the decode-side
+/// continuation request, keyed by the instant its context finishes
+/// landing (prefill completion + link latency + serialization). Min-heap
+/// ordered via [`Reverse`]; ties break by request id, so delivery order
+/// is part of the pinned trace.
+#[derive(Debug, Clone, Copy)]
+struct TransferAt {
+    time: Seconds,
+    request: Request,
+}
+
+impl PartialEq for TransferAt {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.request.id == other.request.id
+    }
+}
+
+impl Eq for TransferAt {}
+
+impl PartialOrd for TransferAt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TransferAt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .partial_cmp(&other.time)
+            // ador-lint: allow(panic) — invariant: maturities are finite sums of latencies
+            .expect("transfer times are never NaN")
+            .then(self.request.id.cmp(&other.request.id))
+    }
+}
+
 /// A fleet of engine replicas behind a [`Router`].
 ///
 /// The default driver is a discrete-event core on one global clock: a
@@ -244,6 +310,49 @@ pub struct ClusterSim<'a> {
     /// steps or receives a submission (its load state changes exactly
     /// then, and never merely by time passing).
     snapshots: Vec<ReplicaSnapshot>,
+    /// Replica indices serving fresh prompts under disaggregation.
+    prefill_pool: Vec<usize>,
+    /// Replica indices serving transferred contexts under disaggregation.
+    decode_pool: Vec<usize>,
+    /// Decode-pool router (consulted only under disaggregation; it only
+    /// ever sees the decode pool, so its policy state stays coherent).
+    decode_router: Router,
+    /// The KV interconnect — `Some` exactly under
+    /// [`Topology::Disaggregated`], which is what switches the drivers
+    /// onto the disaggregated round loop.
+    link: Option<KvLink>,
+    /// Full-model KV bytes per token (transfer serialization sizing).
+    kv_bytes_per_token: u64,
+    /// In-flight KV-context transfers, keyed by maturity. Tracked like
+    /// admissions: a split request counts here between leaving its
+    /// prefill replica and landing on its decode replica, so
+    /// `submitted == completed + rejected + in_flight + in_transfer`
+    /// holds at every [`ClusterSim::advance`] boundary.
+    transfers: BinaryHeap<Reverse<TransferAt>>,
+    /// Per-engine cursor into [`Engine::outcomes`]: completions before
+    /// it are already classified (split bookkeeping done).
+    seen_outcomes: Vec<usize>,
+    /// Original requests of in-progress splits, by id (`BTreeMap` by the
+    /// determinism contract — see `ador-lint`).
+    origs: BTreeMap<u64, Request>,
+    /// Completed prefill halves awaiting their decode half, by id.
+    pending_stitch: BTreeMap<u64, RequestOutcome>,
+    /// Fully stitched end-to-end outcomes (disaggregated runs only).
+    stitched: Vec<RequestOutcome>,
+    /// Requests finished end-to-end under disaggregation.
+    finished: usize,
+    /// Transfer-span telemetry lane (replica index + event), kept at
+    /// fleet level rather than in engine sinks and time-sorted when the
+    /// report is built.
+    transfer_events: Vec<(usize, Event)>,
+    /// KV-context transfers launched.
+    kv_transfers: usize,
+    /// Context tokens shipped across the link in total.
+    kv_transferred_tokens: u64,
+    /// The fleet's effective telemetry config. Per-replica configs may
+    /// differ under [`ClusterSim::new_fleet`]; the first enabled one
+    /// decides whether the report carries a telemetry block.
+    telemetry_cfg: TelemetryConfig,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -266,10 +375,78 @@ impl<'a> ClusterSim<'a> {
         let engines = (0..cfg.replicas)
             .map(|_| Ok(ServingSim::new(arch, model, deployment, cfg.engine)?.engine()))
             .collect::<Result<Vec<_>, SimError>>()?;
+        let roles = vec![PoolRole::Unified; cfg.replicas];
+        Self::assemble(engines, roles, model, cfg.engine.telemetry, cfg)
+    }
+
+    /// Builds a heterogeneous fleet from an explicit replica mix: each
+    /// replica runs its own [`ReplicaSpec`](crate::ReplicaSpec) hardware
+    /// and engine config, and under [`Topology::Disaggregated`] the
+    /// specs' [`PoolRole`]s decide which pool each replica serves.
+    /// `cfg.replicas` is ignored — the fleet's length wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyConfig`] for an empty fleet or a
+    /// disaggregated topology whose prefill or decode pool is empty, and
+    /// propagates per-replica construction errors.
+    pub fn new_fleet(
+        fleet: &'a FleetSpec,
+        model: &'a ModelConfig,
+        deployment: Deployment,
+        mut cfg: ClusterConfig,
+    ) -> Result<Self, SimError> {
+        if fleet.is_empty() {
+            return Err(SimError::EmptyConfig);
+        }
+        cfg.replicas = fleet.len();
+        let engines = fleet
+            .replicas
+            .iter()
+            .map(|spec| Ok(ServingSim::new(&spec.arch, model, deployment, spec.engine)?.engine()))
+            .collect::<Result<Vec<_>, SimError>>()?;
+        let roles: Vec<PoolRole> = fleet.replicas.iter().map(|spec| spec.role).collect();
+        let telemetry_cfg = fleet
+            .replicas
+            .iter()
+            .map(|spec| spec.engine.telemetry)
+            .find(TelemetryConfig::enabled)
+            .unwrap_or(cfg.engine.telemetry);
+        Self::assemble(engines, roles, model, telemetry_cfg, cfg)
+    }
+
+    fn assemble(
+        engines: Vec<Engine<'a>>,
+        roles: Vec<PoolRole>,
+        model: &ModelConfig,
+        telemetry_cfg: TelemetryConfig,
+        cfg: ClusterConfig,
+    ) -> Result<Self, SimError> {
+        let link = match cfg.topology {
+            Topology::Aggregated => None,
+            Topology::Disaggregated(link) => Some(link),
+        };
+        let prefill_pool: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r != PoolRole::Decode)
+            .map(|(i, _)| i)
+            .collect();
+        let decode_pool: Vec<usize> = roles
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r != PoolRole::Prefill)
+            .map(|(i, _)| i)
+            .collect();
+        if link.is_some() && (prefill_pool.is_empty() || decode_pool.is_empty()) {
+            return Err(SimError::EmptyConfig);
+        }
         let snapshots = engines.iter().map(snapshot).collect();
+        let replicas = engines.len();
         Ok(Self {
             engines,
             router: Router::new(cfg.policy),
+            decode_router: Router::new(cfg.decode_policy),
             cfg,
             stream: VecDeque::new(),
             classes: Vec::new(),
@@ -281,6 +458,20 @@ impl<'a> ClusterSim<'a> {
             clock: Seconds::ZERO,
             ready: BinaryHeap::new(),
             snapshots,
+            prefill_pool,
+            decode_pool,
+            link,
+            kv_bytes_per_token: model.kv_bytes_per_token().get(),
+            transfers: BinaryHeap::new(),
+            seen_outcomes: vec![0; replicas],
+            origs: BTreeMap::new(),
+            pending_stitch: BTreeMap::new(),
+            stitched: Vec::new(),
+            finished: 0,
+            transfer_events: Vec::new(),
+            kv_transfers: 0,
+            kv_transferred_tokens: 0,
+            telemetry_cfg,
         })
     }
 
@@ -370,10 +561,276 @@ impl<'a> ClusterSim<'a> {
     ///
     /// Propagates engine errors.
     pub fn advance(&mut self) -> Result<bool, SimError> {
+        if self.link.is_some() {
+            return self.advance_disagg();
+        }
         match self.cfg.drive {
             DriveMode::EventDriven => self.advance_event(),
             DriveMode::Lockstep => self.advance_lockstep(),
         }
+    }
+
+    /// The next round horizon of a disaggregated fleet: the earliest of
+    /// the next arrival, the next transfer maturity, and the *causality
+    /// guard* — the earliest instant any prefill-pool replica could
+    /// still discover a completion, plus the link latency. A completion
+    /// discovered at `t ≥ e` spawns a transfer maturing at
+    /// `≥ t + latency ≥ guard`, so nothing swept up to the horizon can
+    /// ever be swept past an undelivered submission (this is why
+    /// [`KvLink::latency`] must be strictly positive). `None` means no
+    /// event can create a new submission anywhere — the fleet just
+    /// drains.
+    fn disagg_horizon(&self) -> Option<Seconds> {
+        // ador-lint: allow(panic) — invariant: only the disaggregated driver calls this
+        let link = self.link.expect("disaggregated driver");
+        let arrival = self.stream.front().map(|cr| cr.request.arrival);
+        let transfer = self.transfers.peek().map(|&Reverse(t)| t.time);
+        let guard = self
+            .prefill_pool
+            .iter()
+            .filter_map(|&i| self.engines[i].next_event_time())
+            .reduce(Seconds::min)
+            .map(|t| t + link.latency);
+        [arrival, transfer, guard]
+            .into_iter()
+            .flatten()
+            .reduce(Seconds::min)
+    }
+
+    /// One round of the disaggregated driver, identical under both drive
+    /// modes: sweep every replica's work strictly before the round
+    /// horizon, classify the completions that surfaced (launching
+    /// transfers), then process the boundary events *at* the horizon —
+    /// matured transfers first (heap order: maturity, then id), then
+    /// arrivals. The horizon strictly increases round over round, and
+    /// the two sweeps differ only in skipping replicas that provably
+    /// have no work (for which a sweep is a no-op), so the drive modes
+    /// stay bit-identical.
+    fn advance_disagg(&mut self) -> Result<bool, SimError> {
+        let Some(h) = self.disagg_horizon() else {
+            // No arrivals, no in-flight transfers, no prefill-side work:
+            // nothing can create a submission anywhere again. Drain the
+            // remaining (decode-side) work and classify the stragglers.
+            if self.engines.iter().all(|e| e.is_drained()) {
+                return Ok(false);
+            }
+            for idx in 0..self.engines.len() {
+                while !self.engines[idx].is_drained() {
+                    self.engines[idx].step()?;
+                }
+                self.clock = self.clock.max(self.engines[idx].now());
+                self.snapshots[idx] = snapshot(&self.engines[idx]);
+            }
+            self.scan_completions();
+            return Ok(true);
+        };
+        match self.cfg.drive {
+            DriveMode::EventDriven => {
+                while let Some(ev) = self.peek_ready() {
+                    if ev.time >= h {
+                        break;
+                    }
+                    self.ready.pop();
+                    self.engines[ev.replica].step_until(h)?;
+                    self.clock = self.clock.max(self.engines[ev.replica].now());
+                    self.snapshots[ev.replica] = snapshot(&self.engines[ev.replica]);
+                    self.push_ready(ev.replica);
+                }
+            }
+            DriveMode::Lockstep => {
+                for idx in 0..self.engines.len() {
+                    self.engines[idx].step_until(h)?;
+                    self.clock = self.clock.max(self.engines[idx].now());
+                    self.snapshots[idx] = snapshot(&self.engines[idx]);
+                }
+            }
+        }
+        self.scan_completions();
+        while self.transfers.peek().is_some_and(|&Reverse(t)| t.time <= h) {
+            // ador-lint: allow(panic) — invariant: the loop condition peeked the heap
+            let Reverse(t) = self.transfers.pop().expect("peeked");
+            self.deliver_transfer(t)?;
+        }
+        while self
+            .stream
+            .front()
+            .is_some_and(|cr| cr.request.arrival <= h)
+        {
+            // ador-lint: allow(panic) — invariant: the loop condition peeked the stream front
+            let cr = self.stream.pop_front().expect("peeked");
+            self.clock = self.clock.max(cr.request.arrival);
+            self.route_and_submit_disagg(cr)?;
+        }
+        Ok(true)
+    }
+
+    /// Classifies every newly completed engine outcome (replica index
+    /// order, cursor per replica): prefill halves become in-flight
+    /// transfers, decode halves are stitched with their stored prefill
+    /// half into one end-to-end outcome, and unsplit single-output
+    /// requests finish directly.
+    fn scan_completions(&mut self) {
+        for idx in 0..self.engines.len() {
+            let fresh: Vec<RequestOutcome> =
+                self.engines[idx].outcomes()[self.seen_outcomes[idx]..].to_vec();
+            self.seen_outcomes[idx] += fresh.len();
+            for o in fresh {
+                if o.request.imported_context > 0 {
+                    self.stitch(o);
+                } else if self.origs.contains_key(&o.request.id) {
+                    self.launch_transfer(idx, o);
+                } else {
+                    self.stitched.push(o);
+                    self.finished += 1;
+                }
+            }
+        }
+    }
+
+    /// A prefill half just completed on replica `src`: price the KV
+    /// handoff (latency + context × bytes-per-token over the link) and
+    /// schedule the decode-side continuation at its maturity.
+    fn launch_transfer(&mut self, src: usize, prefill: RequestOutcome) {
+        let orig = self.origs[&prefill.request.id];
+        // ador-lint: allow(panic) — invariant: transfers only exist under disaggregation
+        let link = self.link.expect("disaggregated driver");
+        let done_at = orig.arrival + prefill.e2e;
+        // The whole landed context moves: the prompt plus its first token.
+        let ctx = orig.input_tokens + 1;
+        let wire = Seconds::new(
+            conv::f64_from_u64(self.kv_bytes_per_token) * conv::f64_from_usize(ctx)
+                / link.bandwidth.as_bytes_per_sec(),
+        );
+        let maturity = done_at + link.latency + wire;
+        let request = Request {
+            id: orig.id,
+            arrival: maturity,
+            input_tokens: ctx,
+            output_tokens: orig.output_tokens - 1,
+            prefix_group: None,
+            slo: orig.slo,
+            accept_rate: orig.accept_rate,
+            imported_context: orig.input_tokens,
+        };
+        self.kv_transfers += 1;
+        self.kv_transferred_tokens += conv::u64_from_usize(ctx);
+        if self.telemetry_cfg.enabled() {
+            self.transfer_events.push((
+                src,
+                Event {
+                    time: done_at,
+                    request: orig.id,
+                    kind: EventKind::KvTransferStart {
+                        tokens: conv::u32_from_usize(ctx),
+                    },
+                },
+            ));
+        }
+        self.pending_stitch.insert(orig.id, prefill);
+        self.transfers.push(Reverse(TransferAt {
+            time: maturity,
+            request,
+        }));
+    }
+
+    /// A decode half just completed: join it with its stored prefill
+    /// half into the original request's end-to-end outcome.
+    fn stitch(&mut self, decode: RequestOutcome) {
+        let id = decode.request.id;
+        // ador-lint: allow(panic) — invariant: a decode half always follows its recorded split
+        let orig = self.origs.remove(&id).expect("split");
+        // ador-lint: allow(panic) — invariant: the prefill half was stored before the transfer
+        let prefill = self.pending_stitch.remove(&id).expect("split");
+        let ttft = prefill.ttft;
+        let e2e = (decode.request.arrival + decode.e2e) - orig.arrival;
+        // Token 1 lands at the prefill side's first-token instant, token
+        // 2 at the decode side's: the handoff (transfer + decode-side
+        // queueing + KV attach) is a real token gap the user sees.
+        let handoff_gap = (decode.request.arrival + decode.ttft) - (orig.arrival + prefill.ttft);
+        let gaps = conv::f64_from_usize(orig.output_tokens - 1);
+        self.stitched.push(RequestOutcome {
+            request: orig,
+            ttft,
+            mean_tbt: (e2e - ttft) / gaps,
+            max_tbt: handoff_gap.max(decode.max_tbt),
+            e2e,
+        });
+        self.finished += 1;
+    }
+
+    /// Lands one matured transfer: route within the decode pool and
+    /// submit the continuation there (transfers are never shed —
+    /// admission control happened at the front door).
+    fn deliver_transfer(&mut self, t: TransferAt) -> Result<(), SimError> {
+        self.clock = self.clock.max(t.time);
+        let tenant = self.tenant_of[&t.request.id];
+        let idx = self.decode_router.route_pool(
+            tenant,
+            self.classes.len(),
+            None,
+            &self.snapshots,
+            &self.decode_pool,
+        );
+        if self.telemetry_cfg.enabled() {
+            self.transfer_events.push((
+                idx,
+                Event {
+                    time: t.time,
+                    request: t.request.id,
+                    kind: EventKind::KvTransferEnd {
+                        tokens: conv::u32_from_usize(t.request.input_tokens),
+                    },
+                },
+            ));
+        }
+        self.engines[idx].submit(t.request)?;
+        self.snapshots[idx] = snapshot(&self.engines[idx]);
+        if self.cfg.drive == DriveMode::EventDriven {
+            self.push_ready(idx);
+        }
+        Ok(())
+    }
+
+    /// Routes one fresh arrival within the prefill pool, splitting it
+    /// into its prefill half (same id, `output_tokens == 1`) unless the
+    /// request generates nothing beyond its first token — those complete
+    /// on the prefill side and are never shipped.
+    fn route_and_submit_disagg(&mut self, cr: ClusterRequest) -> Result<(), SimError> {
+        let idx = self.router.route_pool(
+            cr.tenant,
+            self.classes.len(),
+            cr.request.prefix_group,
+            &self.snapshots,
+            &self.prefill_pool,
+        );
+        let admit = self
+            .cfg
+            .queue_cap
+            .is_none_or(|cap| self.snapshots[idx].queue_depth < cap);
+        if admit {
+            let mut job = cr.request;
+            if job.output_tokens > 1 {
+                job.output_tokens = 1;
+                self.origs.insert(cr.request.id, cr.request);
+            }
+            self.engines[idx].submit(job)?;
+            self.snapshots[idx] = snapshot(&self.engines[idx]);
+            if self.cfg.drive == DriveMode::EventDriven {
+                self.push_ready(idx);
+            }
+            self.assignments.push((cr.request.id, Some(idx)));
+        } else {
+            if let Some(sink) = self.engines[idx].event_sink_mut() {
+                sink.record(&Event {
+                    time: self.clock,
+                    request: cr.request.id,
+                    kind: EventKind::Shed,
+                });
+            }
+            self.rejected_per_tenant[cr.tenant] += 1;
+            self.assignments.push((cr.request.id, None));
+        }
+        Ok(())
     }
 
     /// One discrete event: the earlier of (replica-ready, next arrival).
@@ -517,9 +974,15 @@ impl<'a> ClusterSim<'a> {
         self.offered
     }
 
-    /// Requests completed across all replicas.
+    /// Requests completed end-to-end. Under disaggregation a request
+    /// counts only once its decode half finishes and is stitched — its
+    /// prefill-half completion is an internal handoff, not service.
     pub fn completed(&self) -> usize {
-        self.engines.iter().map(|e| e.completed()).sum()
+        if self.link.is_some() {
+            self.finished
+        } else {
+            self.engines.iter().map(|e| e.completed()).sum()
+        }
     }
 
     /// Requests shed by admission control.
@@ -528,14 +991,26 @@ impl<'a> ClusterSim<'a> {
     }
 
     /// Requests inside the cluster: still in the arrival stream or inside
-    /// a replica (queued, prefilling or decoding).
+    /// a replica (queued, prefilling or decoding). KV handoffs on the
+    /// wire are counted separately by [`ClusterSim::in_transfer`].
     pub fn in_flight(&self) -> usize {
         self.stream.len() + self.engines.iter().map(|e| e.in_flight()).sum::<usize>()
     }
 
+    /// KV-context transfers currently on the wire between pools (always
+    /// 0 under [`Topology::Aggregated`]). Tracked like admissions, so
+    /// the conservation invariant at every [`ClusterSim::advance`]
+    /// boundary is `submitted == completed + rejected + in_flight +
+    /// in_transfer`.
+    pub fn in_transfer(&self) -> usize {
+        self.transfers.len()
+    }
+
     /// Whether every offered request has completed or been shed.
     pub fn is_done(&self) -> bool {
-        self.stream.is_empty() && self.engines.iter().all(|e| e.is_drained())
+        self.stream.is_empty()
+            && self.transfers.is_empty()
+            && self.engines.iter().all(|e| e.is_drained())
     }
 
     /// Per-replica completed outcomes (completion order within each
@@ -558,10 +1033,50 @@ impl<'a> ClusterSim<'a> {
     /// [`ClusterSim::advance`] returns `false`).
     pub fn finish(mut self) -> FleetReport {
         assert!(self.is_done(), "finish() requires a drained fleet");
+        if self.link.is_some() {
+            // Safety net for callers that drained through their own loop:
+            // classification normally already ran inside advance().
+            self.scan_completions();
+            debug_assert_eq!(
+                self.offered,
+                self.finished + self.rejected(),
+                "disaggregated conservation must close the books"
+            );
+        }
         let telemetry = self.collect_telemetry();
         let per_replica: Vec<Option<QosReport>> = self.engines.iter().map(|e| e.report()).collect();
         let completed_reports: Vec<QosReport> = per_replica.iter().flatten().cloned().collect();
-        let fleet = if completed_reports.is_empty() {
+        let fleet = if self.link.is_some() {
+            // Per-replica reports describe halves. Counters (tokens
+            // prefilled/generated, preemptions, peaks, step means) sum
+            // and max correctly over halves, but every latency and
+            // throughput population must come from the stitched
+            // end-to-end outcomes — a half's TTFT or e2e means nothing
+            // to a user.
+            if self.stitched.is_empty() {
+                None
+            } else {
+                let merged = QosReport::merge(&completed_reports);
+                let exact = QosReport::from_outcomes(
+                    &self.stitched,
+                    merged.makespan,
+                    EngineCounters::default(),
+                );
+                Some(QosReport {
+                    completed: exact.completed,
+                    ttft: exact.ttft,
+                    tbt: exact.tbt,
+                    e2e: exact.e2e,
+                    ttft_hist: exact.ttft_hist,
+                    tbt_hist: exact.tbt_hist,
+                    e2e_hist: exact.e2e_hist,
+                    requests_per_sec: exact.requests_per_sec,
+                    tokens_per_sec: exact.tokens_per_sec,
+                    goodput_tokens_per_sec: exact.goodput_tokens_per_sec,
+                    ..merged
+                })
+            }
+        } else if completed_reports.is_empty() {
             None
         } else {
             let pooled: Vec<RequestOutcome> = self
@@ -584,10 +1099,17 @@ impl<'a> ClusterSim<'a> {
             .collect();
 
         let mut per_tenant: Vec<Vec<RequestOutcome>> = vec![Vec::new(); self.classes.len()];
-        for engine in &self.engines {
-            for outcome in engine.outcomes() {
+        if self.link.is_some() {
+            for outcome in &self.stitched {
                 let tenant = self.tenant_of[&outcome.request.id];
                 per_tenant[tenant].push(*outcome);
+            }
+        } else {
+            for engine in &self.engines {
+                for outcome in engine.outcomes() {
+                    let tenant = self.tenant_of[&outcome.request.id];
+                    per_tenant[tenant].push(*outcome);
+                }
             }
         }
         let tenants: Vec<TenantQos> = self
@@ -608,14 +1130,17 @@ impl<'a> ClusterSim<'a> {
         FleetReport {
             replicas: self.engines.len(),
             policy: self.cfg.policy,
+            decode_policy: self.link.map(|_| self.cfg.decode_policy),
             submitted: self.offered,
-            completed: self.engines.iter().map(|e| e.completed()).sum(),
+            completed: self.completed(),
             rejected: self.rejected_per_tenant.iter().sum(),
             fleet,
             per_replica,
             tenants,
             assignments: self.assignments,
             imbalance: imbalance(&tokens_per_replica),
+            kv_transfers: self.kv_transfers,
+            kv_transferred_tokens: self.kv_transferred_tokens,
             telemetry,
         }
     }
@@ -627,7 +1152,7 @@ impl<'a> ClusterSim<'a> {
     /// the pooled outcomes on the shared fleet clock, so it exists even
     /// when events flow through a bounded flight recorder.
     fn collect_telemetry(&mut self) -> Option<FleetTelemetry> {
-        let tcfg = self.cfg.engine.telemetry;
+        let tcfg = self.telemetry_cfg;
         if !tcfg.enabled() {
             return None;
         }
@@ -646,18 +1171,41 @@ impl<'a> ClusterSim<'a> {
             .iter_mut()
             .filter_map(|e| e.take_series().map(ador_telemetry::SeriesCollector::finish))
             .collect();
+        // The lane accumulates in classification/delivery order; pin a
+        // single time-ordered view (starts before ends at equal stamps).
+        let mut transfer_events = std::mem::take(&mut self.transfer_events);
+        let is_end = |e: &Event| matches!(e.kind, EventKind::KvTransferEnd { .. });
+        transfer_events.sort_by(|(_, a), (_, b)| {
+            a.time
+                .partial_cmp(&b.time)
+                // ador-lint: allow(panic) — invariant: event times are finite sums of latencies
+                .expect("event times are never NaN")
+                .then(a.request.cmp(&b.request))
+                .then(is_end(a).cmp(&is_end(b)))
+        });
         let (tenant_goodput, goodput_interval) = match tcfg.series_interval {
             None => (Vec::new(), Seconds::ZERO),
             Some(interval) => {
                 let mut completions: Vec<Vec<(Seconds, u64)>> =
                     vec![Vec::new(); self.classes.len()];
-                for engine in &self.engines {
-                    for o in engine.outcomes() {
-                        let tenant = self.tenant_of[&o.request.id];
-                        completions[tenant].push((
-                            o.request.arrival + o.e2e,
-                            conv::u64_from_usize(o.request.output_tokens),
-                        ));
+                let mut record = |o: &RequestOutcome| {
+                    let tenant = self.tenant_of[&o.request.id];
+                    completions[tenant].push((
+                        o.request.arrival + o.e2e,
+                        conv::u64_from_usize(o.request.output_tokens),
+                    ));
+                };
+                if self.link.is_some() {
+                    // Halves are bookkeeping; goodput counts end-to-end
+                    // service once, on the stitched outcomes.
+                    for o in &self.stitched {
+                        record(o);
+                    }
+                } else {
+                    for engine in &self.engines {
+                        for o in engine.outcomes() {
+                            record(o);
+                        }
                     }
                 }
                 let per_tenant = completions
@@ -672,6 +1220,7 @@ impl<'a> ClusterSim<'a> {
             series,
             tenant_goodput,
             goodput_interval,
+            transfer_events,
         })
     }
 }
@@ -821,6 +1370,173 @@ mod tests {
             .filter(|e| e.kind == ador_telemetry::EventKind::Shed)
             .count();
         assert_eq!(sheds, report.rejected);
+    }
+
+    fn disagg_link() -> KvLink {
+        KvLink::new(
+            ador_units::Bandwidth::from_gbps(64.0),
+            Seconds::from_millis(0.25),
+        )
+    }
+
+    fn pd_fleet(prefill: usize, decode: usize) -> FleetSpec {
+        let spec = crate::ReplicaSpec::new(ador_table3(), SimConfig::new(1.0, 64));
+        FleetSpec::prefill_decode(&spec, prefill, &spec, decode)
+    }
+
+    #[test]
+    fn disaggregated_fleet_completes_and_stitches_everything() {
+        let model = presets::llama3_8b();
+        let fleet = pd_fleet(1, 2);
+        let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue)
+            .with_disaggregation(disagg_link());
+        let mix = two_class_mix(6.0);
+        let report = ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(&mix, 60, 5)
+            .unwrap();
+        assert_eq!(report.submitted, 60);
+        assert_eq!(report.completed, 60);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.replicas, 3);
+        assert_eq!(report.decode_policy, Some(RouterPolicy::LeastKvLoad));
+        // Every multi-token request crossed the link exactly once, with
+        // its whole landed context (prompt + first token).
+        assert_eq!(report.kv_transfers, 60);
+        assert!(report.kv_transferred_tokens > 60, "contexts carry tokens");
+        let fleet_qos = report.fleet.expect("completions produce a report");
+        assert_eq!(fleet_qos.completed, 60);
+        // Stitched lifecycles are whole: generated tokens across the two
+        // halves equal the declared response lengths.
+        let by_tenant: usize = report.tenants.iter().map(|t| t.completed).sum();
+        assert_eq!(by_tenant, 60);
+        // Split halves never leak into the per-request populations: every
+        // stitched e2e covers at least its TTFT plus the handoff.
+        assert!(fleet_qos.e2e.mean > fleet_qos.ttft.mean);
+    }
+
+    #[test]
+    fn disaggregated_drivers_are_bit_identical() {
+        let model = presets::llama3_8b();
+        let fleet = pd_fleet(2, 2);
+        let mix = two_class_mix(8.0);
+        let run = |drive: DriveMode| {
+            let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue)
+                .with_disaggregation(disagg_link())
+                .with_drive_mode(drive);
+            ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(&mix, 80, 13)
+                .unwrap()
+        };
+        let event = run(DriveMode::EventDriven);
+        let lockstep = run(DriveMode::Lockstep);
+        assert_eq!(event, lockstep);
+    }
+
+    #[test]
+    fn disaggregated_conservation_holds_at_every_boundary() {
+        let model = presets::llama3_8b();
+        let fleet = pd_fleet(1, 1);
+        let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue)
+            .with_disaggregation(disagg_link());
+        let mix = two_class_mix(10.0);
+        let mut sim =
+            ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg).unwrap();
+        sim.submit_stream(&mix, mix.generate(50, 3));
+        let mut saw_transfer = false;
+        loop {
+            assert_eq!(
+                sim.submitted(),
+                sim.completed() + sim.rejected() + sim.in_flight() + sim.in_transfer(),
+                "conservation must hold between events"
+            );
+            saw_transfer |= sim.in_transfer() > 0;
+            if !sim.advance().unwrap() {
+                break;
+            }
+        }
+        assert!(saw_transfer, "the handoff must be observable mid-flight");
+        let report = sim.finish();
+        assert_eq!(report.completed + report.rejected, 50);
+    }
+
+    #[test]
+    fn transfer_link_cost_is_charged_on_the_clock() {
+        let model = presets::llama3_8b();
+        let fleet = pd_fleet(1, 1);
+        let mix = two_class_mix(4.0);
+        let run = |link: KvLink| {
+            let cfg =
+                ClusterConfig::new(0, RouterPolicy::JoinShortestQueue).with_disaggregation(link);
+            ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg)
+                .unwrap()
+                .run(&mix, 40, 7)
+                .unwrap()
+        };
+        let fast = run(disagg_link());
+        let slow = run(KvLink::new(
+            ador_units::Bandwidth::from_gbps(1.0),
+            Seconds::from_millis(20.0),
+        ));
+        let (fast_qos, slow_qos) = (fast.fleet.unwrap(), slow.fleet.unwrap());
+        // A slower link cannot change TTFT (prefill side is untouched)
+        // but must show up in the handoff gap and end-to-end latency.
+        assert_eq!(fast_qos.ttft.mean, slow_qos.ttft.mean);
+        assert!(slow_qos.e2e.mean > fast_qos.e2e.mean);
+        assert!(slow_qos.tbt.max >= fast_qos.tbt.max);
+    }
+
+    #[test]
+    fn disaggregation_with_an_empty_pool_is_rejected() {
+        let model = presets::llama3_8b();
+        let spec = crate::ReplicaSpec::new(ador_table3(), SimConfig::new(1.0, 64));
+        let fleet = FleetSpec::prefill_decode(&spec, 2, &spec, 0);
+        let cfg =
+            ClusterConfig::new(0, RouterPolicy::RoundRobin).with_disaggregation(disagg_link());
+        let err =
+            ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg).unwrap_err();
+        assert_eq!(err, SimError::EmptyConfig);
+    }
+
+    #[test]
+    fn disaggregated_telemetry_carries_transfer_spans() {
+        let model = presets::llama3_8b();
+        let fleet = pd_fleet(1, 1);
+        let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue)
+            .with_disaggregation(disagg_link())
+            .with_telemetry(TelemetryConfig::trace());
+        let mix = two_class_mix(4.0);
+        let report = ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg)
+            .unwrap()
+            .run(&mix, 30, 11)
+            .unwrap();
+        let telemetry = report.telemetry.expect("traced run carries telemetry");
+        let starts = telemetry
+            .transfer_events
+            .iter()
+            .filter(|(r, e)| {
+                *r == 0 && matches!(e.kind, ador_telemetry::EventKind::KvTransferStart { .. })
+            })
+            .count();
+        let ends = telemetry
+            .transfer_events
+            .iter()
+            .filter(|(r, e)| {
+                *r == 1 && matches!(e.kind, ador_telemetry::EventKind::KvTransferEnd { .. })
+            })
+            .count();
+        assert_eq!(starts, report.kv_transfers, "one departure per transfer");
+        assert_eq!(ends, report.kv_transfers, "one landing per transfer");
+        let times: Vec<f64> = telemetry
+            .transfer_events
+            .iter()
+            .map(|(_, e)| e.time.get())
+            .collect();
+        assert!(
+            times.windows(2).all(|w| w[0] <= w[1]),
+            "the lane is time-ordered"
+        );
     }
 
     #[test]

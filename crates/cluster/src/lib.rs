@@ -36,10 +36,22 @@
 //!   profile ([`TenantClass::accept_rate`]), the per-tenant inputs of
 //!   SLO-customized speculative decoding
 //!   ([`ClusterConfig::with_speculation`]).
+//! - **[`FleetSpec`] / [`Topology`]** — heterogeneous composition and
+//!   prefill/decode disaggregation: each [`ReplicaSpec`] carries its own
+//!   architecture, engine config and [`PoolRole`], and
+//!   [`ClusterConfig::with_disaggregation`] splits request lifecycles
+//!   across the pools — prompts prefill in the prefill pool, finished
+//!   contexts ship over a [`KvLink`] (latency plus tokens ×
+//!   KV-bytes/token at link bandwidth, charged on the event clock), and
+//!   decode halves run in the decode pool under
+//!   [`ClusterConfig::decode_policy`]. Conservation extends to the
+//!   link: `submitted == completed + rejected + in_flight +
+//!   in_transfer` at every event boundary.
 //! - **[`FleetReport`]** — fleet-wide QoS: the merged engine report
 //!   (via [`QosReport::merge`](ador_serving::QosReport::merge)),
 //!   per-tenant SLO attainment (shed requests count as misses),
-//!   per-replica utilization imbalance, and the full routing trace.
+//!   per-replica utilization imbalance, the full routing trace, and the
+//!   KV-transfer counters of a disaggregated run.
 //! - **[`cluster_capacity`]** — the fleet analogue of the paper's
 //!   Fig. 16 search: bisect the aggregate arrival rate (preserving the
 //!   per-class traffic shares) for the largest load at which every class
@@ -77,6 +89,7 @@
 
 mod capacity;
 mod cluster;
+mod fleet;
 mod report;
 mod router;
 pub mod scenarios;
@@ -84,6 +97,7 @@ mod tenant;
 
 pub use capacity::{cluster_capacity, ClusterCapacityResult};
 pub use cluster::{ClusterConfig, ClusterSim, DriveMode};
+pub use fleet::{FleetSpec, KvLink, PoolRole, ReplicaSpec, Topology};
 pub use report::{FleetReport, FleetTelemetry, TenantQos};
 pub use router::{ReplicaSnapshot, Router, RouterPolicy, AFFINITY_SPILL};
 pub use tenant::{ArrivalProcess, ClusterRequest, SessionShape, TenantClass, TenantMix};

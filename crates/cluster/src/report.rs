@@ -91,6 +91,14 @@ pub struct FleetTelemetry {
     pub tenant_goodput: Vec<Vec<f64>>,
     /// The window width behind `tenant_goodput`.
     pub goodput_interval: Seconds,
+    /// KV-handoff markers of a disaggregated run, time-ordered: each
+    /// transfer contributes a
+    /// [`KvTransferStart`](ador_telemetry::EventKind::KvTransferStart)
+    /// stamped on its prefill replica at context departure and a
+    /// [`KvTransferEnd`](ador_telemetry::EventKind::KvTransferEnd)
+    /// stamped on its decode replica at maturity, as `(replica, event)`
+    /// pairs. Empty for aggregated topologies.
+    pub transfer_events: Vec<(usize, Event)>,
 }
 
 /// The QoS report of one cluster run: the fleet total, its per-replica and
@@ -99,11 +107,17 @@ pub struct FleetTelemetry {
 pub struct FleetReport {
     /// Engine replicas in the fleet.
     pub replicas: usize,
-    /// The routing policy that produced this report.
+    /// The routing policy that produced this report (the prefill-pool
+    /// policy under disaggregation).
     pub policy: RouterPolicy,
+    /// The decode-pool routing policy — `Some` exactly for disaggregated
+    /// runs.
+    pub decode_policy: Option<RouterPolicy>,
     /// Requests offered to the cluster.
     pub submitted: usize,
-    /// Requests that completed across all replicas.
+    /// Requests that completed end-to-end. Under disaggregation a
+    /// request counts once its decode half finishes and the halves are
+    /// stitched.
     pub completed: usize,
     /// Requests shed by admission control.
     pub rejected: usize,
@@ -127,6 +141,11 @@ pub struct FleetReport {
     /// even spread; RoundRobin on heavy-tailed traffic runs well above
     /// the adaptive policies.
     pub imbalance: f64,
+    /// KV-context transfers a disaggregated run shipped between pools
+    /// (0 for aggregated topologies).
+    pub kv_transfers: usize,
+    /// Total context tokens those transfers moved across the link.
+    pub kv_transferred_tokens: u64,
     /// Observability artifacts (event streams, time series, per-tenant
     /// goodput), or `None` when the run was untraced.
     pub telemetry: Option<FleetTelemetry>,

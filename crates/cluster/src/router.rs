@@ -204,6 +204,30 @@ impl Router {
             }
         }
     }
+
+    /// Picks a replica from the subset `pool` (fleet-wide indices into
+    /// `replicas`), applying the policy pool-locally: load comparisons,
+    /// round-robin cycling, `SloAware` partitioning and affinity pins
+    /// all see only the pool's members, and the returned index is mapped
+    /// back to the fleet. A disaggregated fleet's routers each own one
+    /// pool, so always calling a given router with the same pool keeps
+    /// its cursor/pin state coherent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is empty.
+    pub fn route_pool(
+        &mut self,
+        tenant: usize,
+        classes: usize,
+        prefix_group: Option<u64>,
+        replicas: &[ReplicaSnapshot],
+        pool: &[usize],
+    ) -> usize {
+        assert!(!pool.is_empty(), "cannot route across an empty pool");
+        let local: Vec<ReplicaSnapshot> = pool.iter().map(|&i| replicas[i]).collect();
+        pool[self.route(tenant, classes, prefix_group, &local)]
+    }
 }
 
 /// First index attaining the minimum (ties break toward the earliest

@@ -4,11 +4,15 @@
 //! published numbers and the test that pins their ordering cannot drift
 //! apart.
 
+use ador_hw::Architecture;
 use ador_serving::{SimConfig, Slo, TraceProfile};
 use ador_spec::{SpeculationConfig, SpeculationPolicy};
-use ador_units::{conv, Seconds};
+use ador_units::{conv, Bandwidth, Seconds};
 
-use crate::{ArrivalProcess, ClusterConfig, DriveMode, RouterPolicy, TenantClass, TenantMix};
+use crate::{
+    ArrivalProcess, ClusterConfig, DriveMode, FleetSpec, KvLink, ReplicaSpec, RouterPolicy,
+    TenantClass, TenantMix,
+};
 
 /// Aggregate arrival rate (req/s) of the pinned skewed-mix scenario.
 pub const SKEWED_MIX_RATE: f64 = 7.0;
@@ -190,6 +194,121 @@ pub fn scale_fleet(replicas: usize, drive: DriveMode) -> ClusterConfig {
     ClusterConfig::new(replicas, RouterPolicy::JoinShortestQueue)
         .with_engine(SimConfig::new(1.0, 32))
         .with_drive_mode(drive)
+}
+
+/// Aggregate request rate (req/s) of the pinned disaggregation scenario:
+/// near the 4-replica fleet's decode knee, so TBT contracts are only
+/// holdable when prefill bursts stay out of the decode batches.
+pub const DISAGG_RATE: f64 = 30.0;
+
+/// Request count of the pinned disaggregation scenario.
+pub const DISAGG_REQUESTS: usize = 400;
+
+/// Workload seed of the pinned disaggregation scenario.
+pub const DISAGG_SEED: u64 = 29;
+
+/// Fleet size of the pinned disaggregation scenario — every candidate
+/// (homogeneous or mixed) fields exactly this many replicas, so the
+/// comparison is iso-count.
+pub const DISAGG_REPLICAS: usize = 4;
+
+/// The pinned disaggregation workload: an interactive class (mid-size
+/// prompts, ~192-token responses, a tight 24 ms TBT contract) multiplexed
+/// with a bursty document-ingest class (~3k-token prompts, short
+/// responses, TTFT-only contract). Ingest prefill chunks are what blow
+/// the interactive class's TBT whenever both phases share a batch —
+/// the traffic shape prefill/decode disaggregation exists for.
+pub fn disagg_mix(aggregate: f64) -> TenantMix {
+    let interactive_profile = TraceProfile {
+        input_mu: 768.0_f64.ln(),
+        input_sigma: 0.5,
+        output_mu: 192.0_f64.ln(),
+        output_sigma: 0.4,
+        max_tokens: 2048,
+    };
+    let ingest_profile = TraceProfile {
+        input_mu: 3072.0_f64.ln(),
+        input_sigma: 0.4,
+        output_mu: 64.0_f64.ln(),
+        output_sigma: 0.5,
+        max_tokens: 8192,
+    };
+    let interactive = TenantClass::new(
+        "interactive",
+        interactive_profile,
+        Slo {
+            ttft_max: Some(Seconds::from_millis(2500.0)),
+            tbt_max: Some(Seconds::from_millis(24.0)),
+        },
+        ArrivalProcess::Poisson {
+            rate: aggregate * 0.65,
+        },
+    );
+    let mean_on = Seconds::new(3.0);
+    let mean_off = Seconds::new(9.0);
+    let duty = mean_on.get() / (mean_on.get() + mean_off.get());
+    let ingest = TenantClass::new(
+        "ingest",
+        ingest_profile,
+        Slo {
+            ttft_max: Some(Seconds::from_millis(8000.0)),
+            tbt_max: None,
+        },
+        ArrivalProcess::OnOffMmpp {
+            rate_on: aggregate * 0.35 / duty,
+            mean_on,
+            mean_off,
+        },
+    );
+    TenantMix::new(vec![interactive, ingest])
+}
+
+/// The pinned KV interconnect: a 64 GB/s point-to-point link with 0.5 ms
+/// setup latency — NVLink-class bandwidth, rack-scale latency. Moving a
+/// 3k-token LLaMA3-8B context (~128 KiB/token) costs ~6 ms on top of the
+/// latency, small against second-scale TTFT contracts but real enough
+/// that the transfer accounting is exercised.
+pub fn disagg_link() -> KvLink {
+    KvLink::new(Bandwidth::from_gbps(64.0), Seconds::from_millis(0.5))
+}
+
+/// The pinned per-replica engine config of the disaggregation scenario:
+/// 64-slot replicas with the default KV budget.
+pub fn disagg_engine() -> SimConfig {
+    SimConfig::new(1.0, 64)
+}
+
+/// A two-pool fleet for the pinned disaggregation scenario:
+/// `prefill_count` replicas of `prefill` feeding `decode_count` replicas
+/// of `decode`, all running [`disagg_engine`]. Architectures are passed
+/// in (conventionally `ador_baselines::prefill_optimized()` /
+/// `decode_optimized()`) so this crate stays baseline-agnostic.
+pub fn disagg_fleet(
+    prefill: &Architecture,
+    prefill_count: usize,
+    decode: &Architecture,
+    decode_count: usize,
+) -> FleetSpec {
+    FleetSpec::prefill_decode(
+        &ReplicaSpec::new(prefill.clone(), disagg_engine()),
+        prefill_count,
+        &ReplicaSpec::new(decode.clone(), disagg_engine()),
+        decode_count,
+    )
+}
+
+/// The pinned cluster config of the disaggregation scenario: prefill-side
+/// join-shortest-queue, decode-side least-KV-load, over [`disagg_link`]
+/// when `disaggregated` (aggregated otherwise — the baseline topology the
+/// mixes are judged against).
+pub fn disagg_cluster(disaggregated: bool) -> ClusterConfig {
+    let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue)
+        .with_decode_policy(RouterPolicy::LeastKvLoad);
+    if disaggregated {
+        cfg.with_disaggregation(disagg_link())
+    } else {
+        cfg
+    }
 }
 
 /// The pinned *single-engine* speculation config: the `exp_specdec`

@@ -17,6 +17,12 @@
 //! 4. if nothing qualifies, runs the paper's feedback path: report the best
 //!    effort along with which requirement failed and what it would take.
 //!
+//! Beyond the single chip, [`co_explore`] lifts the search to the
+//! datacenter: hardware config × replica mix × router policy against a
+//! fleet SLO target, judging prefill/decode-disaggregated heterogeneous
+//! mixes against iso-count homogeneous fleets on real multi-tenant
+//! traffic (see `crates/cluster`).
+//!
 //! # Examples
 //!
 //! ```
@@ -38,12 +44,14 @@
 #![warn(missing_docs)]
 
 mod constraints;
+mod fleet;
 mod interconnect;
 mod pareto;
 mod report;
 mod sizing;
 
 pub use constraints::{SearchInput, UserRequirements, VendorConstraints, Workload};
+pub use fleet::{co_explore, FleetCandidate, FleetChips, FleetSearchInput, FleetSearchOutcome};
 pub use interconnect::{solve_noc_bandwidth, solve_p2p_bandwidth};
 pub use pareto::{pareto_frontier, ParetoPoint};
 pub use report::{SearchError, SearchOutcome, SearchStep};

@@ -128,13 +128,16 @@ struct Active {
 }
 
 impl Active {
-    fn admit(job: Job, cached_tokens: usize, cache_node: usize) -> Self {
-        let prefill_target = job.prefill_target() - cached_tokens;
+    /// `imported` tokens arrive with their KV already materialized (a
+    /// disaggregated handoff): they join `kv_held` at admission and are
+    /// excluded from the prefill pass alongside the prefix-cache hit.
+    fn admit(job: Job, cached_tokens: usize, cache_node: usize, imported: usize) -> Self {
+        let prefill_target = job.prefill_target() - cached_tokens - imported;
         Self {
             job,
             prefilled: 0,
             prefill_target,
-            kv_held: 0,
+            kv_held: imported,
             cached_tokens,
             cache_node,
             traced_commit: false,
@@ -743,6 +746,22 @@ impl<'a> Engine<'a> {
                 let Some(job) = self.waiting.front() else {
                     break;
                 };
+                // Imported context (a disaggregated KV handoff): the
+                // transferred tokens' KV is allocated outright — no prefill
+                // compute, no prefix-cache interaction — leaving at least
+                // the final prompt token to recompute. Preemption dropped
+                // any imported KV with the rest of the context, so a
+                // resumed job recomputes everything.
+                let imported = if job.preempted {
+                    0
+                } else {
+                    job.request
+                        .imported_context
+                        .min(job.request.input_tokens - 1)
+                };
+                if imported > kv_headroom {
+                    break;
+                }
                 // Match the prompt against the prefix cache before sizing
                 // the chunk: matched blocks are skipped entirely (at least
                 // one prompt token is always recomputed — its logits emit
@@ -750,7 +769,7 @@ impl<'a> Engine<'a> {
                 // blocks (they stop being evictable), which consumes the
                 // same headroom fresh growth does.
                 let (cached, cache_node) = match (&mut self.cache, job.request.prefix_group) {
-                    (Some(cache), Some(group)) => {
+                    (Some(cache), Some(group)) if imported == 0 => {
                         let before = cache.evictable_tokens();
                         let (cached, node) = cache.acquire(group, job.request.input_tokens - 1);
                         let pinned = before - cache.evictable_tokens();
@@ -763,8 +782,8 @@ impl<'a> Engine<'a> {
                     }
                     _ => (0, PrefixCache::ROOT),
                 };
-                let remaining = job.prefill_target() - cached;
-                let take = chunk_take(remaining, chunk_budget, kv_headroom);
+                let remaining = job.prefill_target() - cached - imported;
+                let take = chunk_take(remaining, chunk_budget, kv_headroom - imported);
                 if take == 0 {
                     if let Some(cache) = &mut self.cache {
                         cache.release(cache_node);
@@ -774,17 +793,19 @@ impl<'a> Engine<'a> {
                 // ador-lint: allow(panic) — invariant: the admission loop peeked front() above
                 let job = self.waiting.pop_front().expect("peeked");
                 if let Some(cache) = &mut self.cache {
-                    if job.request.prefix_group.is_some() {
+                    if imported == 0 && job.request.prefix_group.is_some() {
                         let shareable = ((job.request.input_tokens - 1) / PREFIX_BLOCK_TOKENS)
                             * PREFIX_BLOCK_TOKENS;
                         cache.record_lookup(cached, shareable - cached);
                     }
                 }
                 chunk_budget -= take;
-                kv_headroom -= take + usize::from(take == remaining);
-                // Cached tokens never prefill, so they leave the backlog
-                // the moment the admission decision skips them.
-                self.backlog -= cached;
+                kv_headroom -= imported + take + usize::from(take == remaining);
+                // Cached and imported tokens never prefill, so they leave
+                // the backlog the moment the admission decision skips them;
+                // imported KV becomes resident right here.
+                self.backlog -= cached + imported;
+                self.charge_kv(imported);
                 Self::emit(
                     &mut self.sink,
                     self.now,
@@ -798,7 +819,8 @@ impl<'a> Engine<'a> {
                     },
                 );
                 chunks.push((self.active.len(), take));
-                self.active.push(Active::admit(job, cached, cache_node));
+                self.active
+                    .push(Active::admit(job, cached, cache_node, imported));
             }
 
             // All actives mid-prefill with zero headroom and nobody
@@ -1318,6 +1340,91 @@ mod tests {
         while eng.step().unwrap() != StepEvent::Idle {}
         // Request 0 arrived first and must complete first.
         assert_eq!(eng.outcomes()[0].request.id, 0);
+    }
+
+    #[test]
+    fn imported_context_skips_prefill_compute() {
+        // A disaggregated decode-side continuation: all but one prompt
+        // token arrive as transferred KV. TTFT collapses to roughly one
+        // decode-sized step, and the prefill counter records only the
+        // recomputed tail token.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8);
+
+        let mut cold = engine(&arch, &model, cfg);
+        cold.submit(Request::new(0, Seconds::ZERO, 2048, 8))
+            .unwrap();
+        while cold.step().unwrap() != StepEvent::Idle {}
+
+        let mut warm = engine(&arch, &model, cfg);
+        warm.submit(Request::new(0, Seconds::ZERO, 2048, 8).with_imported_context(2047))
+            .unwrap();
+        while warm.step().unwrap() != StepEvent::Idle {}
+
+        assert_eq!(warm.counters().prefilled_tokens, 1);
+        assert_eq!(cold.counters().prefilled_tokens, 2048);
+        let (cold, warm) = (&cold.outcomes()[0], &warm.outcomes()[0]);
+        assert!(
+            warm.ttft < cold.ttft / 4.0,
+            "imported context must skip the prefill wall: {} vs {}",
+            warm.ttft,
+            cold.ttft
+        );
+        // The imported KV is still resident context: decode steps attend
+        // to the full 2048-token prompt either way, so generation length
+        // and totals match.
+        assert_eq!(warm.request.total_tokens(), cold.request.total_tokens());
+    }
+
+    #[test]
+    fn imported_context_charges_kv_at_admission() {
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let mut eng = engine(&arch, &model, SimConfig::new(1.0, 8));
+        eng.submit(Request::new(0, Seconds::ZERO, 1024, 4).with_imported_context(1023))
+            .unwrap();
+        // First step admits and prefills the single recomputed token; the
+        // imported 1023 tokens must already sit in the KV ledger.
+        eng.step().unwrap();
+        assert!(
+            eng.kv_in_use() >= 1023,
+            "imported KV not resident: {} tokens in use",
+            eng.kv_in_use()
+        );
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert_eq!(eng.completed(), 1);
+        assert_eq!(eng.kv_in_use(), 0, "completion releases imported KV too");
+    }
+
+    #[test]
+    fn imported_context_is_recomputed_after_preemption() {
+        // Starve the KV budget so the youngest import gets preempted: the
+        // transferred KV is dropped with the rest of its context, and the
+        // resume prefills the full prompt (imported_context is ignored for
+        // resumed jobs). The engine must still drain with exact ledgers —
+        // the debug asserts in step() check backlog and KV each iteration.
+        let arch = ador_table3();
+        let model = presets::llama3_8b();
+        let cfg = SimConfig::new(1.0, 8).with_kv_memory_fraction(0.006);
+        let mut eng = engine(&arch, &model, cfg);
+        let budget = eng.kv_budget_tokens();
+        let input = budget * 2 / 5;
+        let output = budget / 8;
+        for id in 0..4u64 {
+            eng.submit(Request::new(id, Seconds::ZERO, input, output).with_imported_context(input))
+                .unwrap();
+        }
+        while eng.step().unwrap() != StepEvent::Idle {}
+        assert_eq!(eng.completed(), 4);
+        assert!(
+            eng.counters().preemptions > 0,
+            "scenario must actually exercise preemption of imported contexts"
+        );
+        assert!(
+            eng.counters().prefilled_tokens > 4,
+            "resumed imports recompute their prompts"
+        );
     }
 
     #[test]

@@ -39,6 +39,16 @@ pub struct Request {
     /// [`SpeculationConfig::default_acceptance`](ador_spec::SpeculationConfig::default_acceptance).
     /// Ignored unless the engine speculates.
     pub accept_rate: Option<f64>,
+    /// Leading prompt tokens whose KV arrives with the request instead of
+    /// being computed here — the receiving side of a prefill/decode
+    /// disaggregated handoff. At admission the engine allocates their KV
+    /// directly (no prefill compute, no prefix-cache interaction) and
+    /// prefills only the remainder; at least the final prompt token is
+    /// always recomputed (its logits seed generation), so values are
+    /// clamped to `input_tokens - 1`. A preempted request loses the
+    /// imported KV with the rest of its context and recomputes everything
+    /// on resume. `0` (the default) means a normal request.
+    pub imported_context: usize,
 }
 
 impl Request {
@@ -60,7 +70,17 @@ impl Request {
             prefix_group: None,
             slo: None,
             accept_rate: None,
+            imported_context: 0,
         }
+    }
+
+    /// Marks the leading `tokens` prompt tokens as context imported from
+    /// another engine (a disaggregated KV handoff): their KV is allocated
+    /// at admission without prefill compute. Values are clamped to
+    /// `input_tokens - 1` — the final prompt token is always recomputed.
+    pub fn with_imported_context(mut self, tokens: usize) -> Self {
+        self.imported_context = tokens.min(self.input_tokens - 1);
+        self
     }
 
     /// Tags the request's prompt content as belonging to `group` (a

@@ -6,6 +6,7 @@
 //! 270 tokens, heavy right tails), which preserves exactly what the
 //! simulator consumes: the joint arrival/length workload.
 
+use ador_units::conv;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -62,9 +63,9 @@ impl TraceProfile {
     /// Fixed lengths (the Fig. 17 grid sweeps use degenerate profiles).
     pub fn fixed(input_tokens: usize, output_tokens: usize) -> Self {
         Self {
-            input_mu: (input_tokens as f64).ln(),
+            input_mu: conv::f64_from_usize(input_tokens).ln(),
             input_sigma: 0.0,
-            output_mu: (output_tokens as f64).ln(),
+            output_mu: conv::f64_from_usize(output_tokens).ln(),
             output_sigma: 0.0,
             max_tokens: input_tokens + output_tokens,
         }
@@ -92,7 +93,7 @@ fn sample_lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64, cap: usiz
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     };
     let len = (mu + sigma * z).exp().round();
-    (len.max(1.0) as usize).min(cap.max(1))
+    conv::usize_from_f64(len.max(1.0)).min(cap.max(1))
 }
 
 #[cfg(test)]

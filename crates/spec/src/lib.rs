@@ -53,7 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use ador_units::Seconds;
+use ador_units::{conv, Seconds};
 use serde::{Deserialize, Serialize};
 
 /// Default ceiling on speculation depth (draft tokens per verify step).
@@ -278,15 +278,18 @@ impl SpeculationConfig {
         } else if urgency <= SLACK_FLOOR {
             0
         } else {
-            (self.max_depth as f64 * (urgency - SLACK_FLOOR) / (URGENT_CEIL - SLACK_FLOOR)).floor()
-                as usize
+            conv::usize_from_f64(
+                (conv::f64_from_usize(self.max_depth) * (urgency - SLACK_FLOOR)
+                    / (URGENT_CEIL - SLACK_FLOOR))
+                    .floor(),
+            )
         }
     }
 
     /// The per-step drafted-token budget for an engine with `max_batch`
     /// slots (`Fixed` ignores it; see [`DEFAULT_VERIFY_BUDGET`]).
     pub fn budget_tokens(&self, max_batch: usize) -> usize {
-        (self.verify_budget * max_batch as f64).floor() as usize
+        conv::usize_from_f64((self.verify_budget * conv::f64_from_usize(max_batch)).floor())
     }
 }
 
@@ -367,7 +370,7 @@ impl DraftStream {
         // rejection (leading-run semantics): skip the draws the remaining
         // drafts would have used so the stream position depends only on
         // the drafted count, not on where the run broke.
-        self.draws += (drafted - accepted).saturating_sub(1) as u64;
+        self.draws += conv::u64_from_usize((drafted - accepted).saturating_sub(1));
         Verify {
             drafted,
             accepted,
@@ -381,7 +384,7 @@ impl DraftStream {
             .key
             .wrapping_add(self.draws.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
         self.draws += 1;
-        (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        conv::f64_from_u64(word >> 11) * (1.0 / conv::f64_from_u64(1u64 << 53))
     }
 }
 

@@ -44,6 +44,8 @@ pub fn chrome_trace(replicas: &[Vec<Event>]) -> String {
             let name = match e.kind {
                 EventKind::Preempt => "preempt",
                 EventKind::Shed => "shed",
+                EventKind::KvTransferStart { .. } => "kv_transfer_out",
+                EventKind::KvTransferEnd { .. } => "kv_transfer_in",
                 _ => continue,
             };
             items.push(format!(

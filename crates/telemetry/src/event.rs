@@ -54,6 +54,20 @@ pub enum EventKind {
     /// The cluster router shed the request (per-replica queue cap); it
     /// never reached an engine.
     Shed,
+    /// A disaggregated fleet began moving the request's finished prefill
+    /// context toward a decode pool — recorded in the *prefill* replica's
+    /// stream at the moment the context left it.
+    KvTransferStart {
+        /// Context tokens whose KV is on the wire.
+        tokens: u32,
+    },
+    /// The transferred context landed on its decode replica — recorded in
+    /// the *decode* replica's stream at transfer maturity, just before the
+    /// continuation request enqueues there.
+    KvTransferEnd {
+        /// Context tokens whose KV arrived.
+        tokens: u32,
+    },
 }
 
 /// One timestamped lifecycle event.

@@ -101,6 +101,11 @@ pub fn spans(events: &[Event]) -> Vec<Span> {
             EventKind::Shed => {
                 close(&mut open, &mut out, e.request, e.time);
             }
+            // Transfer endpoints are instant markers around the pool
+            // handoff: the prefill side already closed its spans with
+            // `Complete`, and the decode side opens fresh ones at the
+            // continuation's `Enqueue`.
+            EventKind::KvTransferStart { .. } | EventKind::KvTransferEnd { .. } => {}
         }
     }
     out

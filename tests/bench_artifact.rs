@@ -39,3 +39,23 @@ fn committed_bench_telemetry_grid_is_valid() {
     ador_bench::schema::validate_bench_telemetry(&text)
         .unwrap_or_else(|e| panic!("BENCH_telemetry.json failed its schema: {e}"));
 }
+
+/// `BENCH_disagg.json` — the disaggregation co-exploration emitted by
+/// `cargo bench -p ador-bench --bench exp_disagg`. Beyond candidate
+/// structure (iso-count pools, attainment in [0, 1], finite latency and
+/// goodput figures), the schema enforces the headline result on full
+/// runs: the committed artifact must carry the disaggregated-beats-
+/// best-homogeneous win. A `--quick` smoke artifact is structurally
+/// valid but exempt from the win requirement.
+#[test]
+fn committed_bench_disagg_is_valid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_disagg.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_disagg.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p ador-bench --bench exp_disagg`): {e}"
+        )
+    });
+    ador_bench::schema::validate_bench_disagg(&text)
+        .unwrap_or_else(|e| panic!("BENCH_disagg.json failed its schema: {e}"));
+}

@@ -4,14 +4,19 @@
 //! invariant.
 
 use ador::cluster::scenarios::{
-    scarce_kv_fleet, skewed_two_tenant, SKEWED_MIX_RATE, SKEWED_MIX_REQUESTS,
+    disagg_cluster, disagg_fleet, disagg_mix, scarce_kv_fleet, skewed_two_tenant, DISAGG_RATE,
+    DISAGG_REQUESTS, DISAGG_SEED, SKEWED_MIX_RATE, SKEWED_MIX_REQUESTS,
 };
 use ador::cluster::{
-    ClusterConfig, ClusterRequest, ClusterSim, DriveMode, RouterPolicy, TenantClass, TenantMix,
+    ClusterConfig, ClusterRequest, ClusterSim, DriveMode, FleetSpec, ReplicaSpec, RouterPolicy,
+    TenantClass, TenantMix,
 };
 use ador::model::presets;
 use ador::perf::Deployment;
-use ador::serving::{Request, SimConfig};
+use ador::serving::{
+    LatencyStats, QosReport, Request, RequestOutcome, SimConfig, SpeculationConfig,
+    SpeculationPolicy,
+};
 use ador::units::Seconds;
 use proptest::prelude::*;
 
@@ -273,6 +278,152 @@ fn equal_arrival_ties_are_routed_in_generation_order() {
     assert_eq!(replicas, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
 }
 
+/// Like [`drive`], but over an explicit heterogeneous [`FleetSpec`]
+/// (per-replica architectures and engine configs) instead of
+/// `cfg.replicas` homogeneous copies.
+fn drive_fleet(
+    fleet: &FleetSpec,
+    cfg: ClusterConfig,
+    mix: &TenantMix,
+    stream: Vec<ClusterRequest>,
+) -> (
+    Seconds,
+    Vec<Vec<RequestOutcome>>,
+    ador::cluster::FleetReport,
+) {
+    let model = presets::llama3_8b();
+    let mut sim = ClusterSim::new_fleet(fleet, &model, Deployment::single_device(), cfg).unwrap();
+    sim.submit_stream(mix, stream);
+    while sim.advance().unwrap() {}
+    let now = sim.now();
+    let outcomes = sim
+        .replica_outcomes()
+        .into_iter()
+        .map(<[_]>::to_vec)
+        .collect();
+    (now, outcomes, sim.finish())
+}
+
+/// The equivalence pin extended to a heterogeneous two-pool fleet: on
+/// the pinned disaggregation scenario (2 prefill-optimized + 2
+/// decode-optimized replicas over the pinned KV link, interactive +
+/// bursty-ingest mix), the discrete-event core reproduces the lockstep
+/// oracle exactly — stitched per-request outcomes, the routing trace,
+/// the global clock and the full fleet report, KV-transfer accounting
+/// included.
+#[test]
+fn disaggregated_event_core_matches_lockstep_on_the_heterogeneous_pin() {
+    let mix = disagg_mix(DISAGG_RATE);
+    let fleet = disagg_fleet(
+        &ador::baselines::prefill_optimized(),
+        2,
+        &ador::baselines::decode_optimized(),
+        2,
+    );
+    let stream = mix.generate(DISAGG_REQUESTS, DISAGG_SEED);
+    let base = disagg_cluster(true);
+
+    let (ev_now, ev_outcomes, ev_report) = drive_fleet(
+        &fleet,
+        base.with_drive_mode(DriveMode::EventDriven),
+        &mix,
+        stream.clone(),
+    );
+    let (ls_now, ls_outcomes, ls_report) = drive_fleet(
+        &fleet,
+        base.with_drive_mode(DriveMode::Lockstep),
+        &mix,
+        stream,
+    );
+
+    assert_eq!(
+        ev_outcomes, ls_outcomes,
+        "per-replica outcome halves must be identical across drivers"
+    );
+    assert_eq!(ev_now, ls_now, "drained fleets end on the same clock");
+    assert_eq!(ev_report, ls_report);
+    // The pin is only meaningful if the scenario actually disaggregates:
+    // every completed request shipped its context over the link.
+    assert_eq!(ev_report.kv_transfers, ev_report.completed);
+    assert!(ev_report.kv_transferred_tokens > 0);
+    assert_eq!(ev_report.completed, DISAGG_REQUESTS);
+}
+
+/// `QosReport::merge_exact` over genuinely mixed replica configs: a
+/// three-replica aggregated fleet where one replica runs prefix caching,
+/// two run fixed-depth speculation, and batch caps differ. The fleet
+/// report's percentiles must be the *true union* percentiles of the
+/// pooled per-request outcomes (not a per-replica aggregate), and the
+/// workload counters must be exact sums of the per-replica reports.
+#[test]
+fn fleet_merge_exact_pools_percentiles_and_sums_counters_across_mixed_replicas() {
+    let caching = SimConfig::new(1.0, 16).with_prefix_caching(true);
+    let speculating = SimConfig::new(1.0, 8).with_speculation(
+        SpeculationConfig::new(SpeculationPolicy::Fixed(2)).with_default_acceptance(0.8),
+    );
+    let fleet = FleetSpec::new(vec![
+        ReplicaSpec::new(ador::baselines::ador_table3(), caching),
+        ReplicaSpec::new(ador::baselines::prefill_optimized(), speculating),
+        ReplicaSpec::new(ador::baselines::decode_optimized(), speculating),
+    ]);
+    let mix = TenantMix::new(vec![
+        TenantClass::chatbot(6.0),
+        TenantClass::summarization(2.0),
+    ]);
+    let stream = mix.generate(120, 41);
+    let cfg = ClusterConfig::new(0, RouterPolicy::JoinShortestQueue);
+    let (_, outcomes, report) = drive_fleet(&fleet, cfg, &mix, stream);
+    let fleet_qos = report.fleet.as_ref().expect("requests completed");
+    let pooled: Vec<RequestOutcome> = outcomes.into_iter().flatten().collect();
+    assert_eq!(pooled.len(), 120, "nothing shed, everything completed");
+
+    // Population-derived figures are recomputed exactly from the pooled
+    // outcomes: the union percentiles, not a bound over replicas.
+    let stats_of = |samples: Vec<Seconds>| LatencyStats::from_samples(&samples);
+    assert_eq!(
+        fleet_qos.ttft,
+        stats_of(pooled.iter().map(|o| o.ttft).collect())
+    );
+    assert_eq!(
+        fleet_qos.tbt,
+        stats_of(pooled.iter().map(|o| o.mean_tbt).collect())
+    );
+    assert_eq!(
+        fleet_qos.e2e,
+        stats_of(pooled.iter().map(|o| o.e2e).collect())
+    );
+
+    // Counter aggregates are exact sums over the per-replica reports —
+    // including the counters only some replicas produce (prefix-cache
+    // traffic from the caching replica, draft traffic from the
+    // speculating pair).
+    let parts: Vec<QosReport> = report.per_replica.iter().flatten().cloned().collect();
+    assert_eq!(parts.len(), 3, "every replica served something");
+    let sum = |f: fn(&QosReport) -> usize| parts.iter().map(f).sum::<usize>();
+    assert_eq!(fleet_qos.completed, sum(|r| r.completed));
+    assert_eq!(fleet_qos.prefilled_tokens, sum(|r| r.prefilled_tokens));
+    assert_eq!(fleet_qos.generated_tokens, sum(|r| r.generated_tokens));
+    assert_eq!(fleet_qos.prefix_hit_tokens, sum(|r| r.prefix_hit_tokens));
+    assert_eq!(fleet_qos.prefix_miss_tokens, sum(|r| r.prefix_miss_tokens));
+    assert_eq!(fleet_qos.drafted_tokens, sum(|r| r.drafted_tokens));
+    assert_eq!(fleet_qos.accepted_tokens, sum(|r| r.accepted_tokens));
+    assert_eq!(fleet_qos.rejected_tokens, sum(|r| r.rejected_tokens));
+    assert!(
+        fleet_qos.drafted_tokens > 0,
+        "the speculating replicas must actually draft"
+    );
+    assert_eq!(
+        fleet_qos.drafted_tokens,
+        fleet_qos.accepted_tokens + fleet_qos.rejected_tokens
+    );
+
+    // The exact union percentile never exceeds the conservative
+    // bound-based merge it replaces.
+    let bound = QosReport::merge(&parts);
+    assert!(fleet_qos.ttft.p95 <= bound.ttft.p95);
+    assert!(fleet_qos.e2e.p95 <= bound.e2e.p95);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
@@ -357,5 +508,73 @@ proptest! {
         prop_assert_eq!(report.completed + report.rejected, count);
         let by_tenant: usize = report.tenants.iter().map(|t| t.completed + t.rejected).sum();
         prop_assert_eq!(by_tenant, count);
+    }
+
+    /// Conservation, broadened to heterogeneous and disaggregated fleets:
+    /// with mixed chips (prefill-optimized + decode-optimized specs),
+    /// varying pool sizes, both mixes, admission control and the KV link
+    /// in play, every offered request is exactly accounted for at every
+    /// event boundary as completed, shed, in flight on a replica, or in
+    /// transfer over the link.
+    #[test]
+    fn heterogeneous_fleet_conserves_requests_at_every_step(
+        seed in 0u64..1000,
+        prefill in 1usize..3,
+        decode in 1usize..3,
+        count in 1usize..60,
+        mix_pick in 0usize..2,
+        disagg_pick in 0usize..2,
+        capped in 0usize..2,
+    ) {
+        let disaggregated = disagg_pick == 1;
+        let model = presets::llama3_8b();
+        let engine = SimConfig::new(1.0, 8).with_kv_memory_fraction(0.05);
+        let p_spec = ReplicaSpec::new(ador::baselines::prefill_optimized(), engine);
+        let d_spec = ReplicaSpec::new(ador::baselines::decode_optimized(), engine);
+        let fleet = if disaggregated {
+            FleetSpec::prefill_decode(&p_spec, prefill, &d_spec, decode)
+        } else {
+            // Same mixed chips, but every replica serves whole requests.
+            FleetSpec::new(
+                (0..prefill)
+                    .map(|_| p_spec.clone())
+                    .chain((0..decode).map(|_| d_spec.clone()))
+                    .collect(),
+            )
+        };
+        let mut cfg = disagg_cluster(disaggregated);
+        if capped == 1 {
+            cfg = cfg.with_queue_cap(3);
+        }
+        let mix = if mix_pick == 0 {
+            TenantMix::new(vec![
+                TenantClass::chatbot(8.0),
+                TenantClass::summarization(3.0),
+            ])
+        } else {
+            disagg_mix(DISAGG_RATE)
+        };
+        let mut sim =
+            ClusterSim::new_fleet(&fleet, &model, Deployment::single_device(), cfg).unwrap();
+        sim.submit_stream(&mix, mix.generate(count, seed));
+        loop {
+            prop_assert_eq!(
+                sim.submitted(),
+                sim.completed() + sim.rejected() + sim.in_flight() + sim.in_transfer(),
+                "conservation violated mid-run"
+            );
+            if !sim.advance().unwrap() {
+                break;
+            }
+        }
+        prop_assert_eq!(sim.in_flight(), 0);
+        prop_assert_eq!(sim.in_transfer(), 0);
+        let report = sim.finish();
+        prop_assert_eq!(report.completed + report.rejected, count);
+        let by_tenant: usize = report.tenants.iter().map(|t| t.completed + t.rejected).sum();
+        prop_assert_eq!(by_tenant, count);
+        if !disaggregated {
+            prop_assert_eq!(report.kv_transfers, 0);
+        }
     }
 }
