@@ -258,4 +258,65 @@ mod tests {
         };
         assert!(lint_file(not_sim, "a.rs", src).is_empty());
     }
+
+    const TELEMETRY: FileClass = FileClass {
+        sim: false,
+        test_file: false,
+    };
+    const TELEMETRY_PATH: &str = "crates/telemetry/src/agg.rs";
+
+    #[test]
+    fn float_accumulation_in_a_telemetry_loop_is_flagged() {
+        let src = "fn mean(xs: &[f64]) -> f64 {\n    \
+                   let mut sum = 0.0;\n    \
+                   for x in xs {\n        sum += x;\n    }\n    \
+                   sum\n}\n";
+        let found = lint_file(TELEMETRY, TELEMETRY_PATH, src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, "float-accum");
+        assert!(found[0].message.contains("sum"));
+    }
+
+    #[test]
+    fn ascribed_f64_accumulator_in_a_while_loop_is_flagged() {
+        let src = "fn run(n: u32) {\n    let mut acc: f64 = total();\n    \
+                   let mut i = 0;\n    \
+                   while i < n {\n        acc += step();\n        i += 1;\n    }\n}\n";
+        let found = lint_file(TELEMETRY, TELEMETRY_PATH, src);
+        let rules: Vec<&str> = found.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["float-accum"], "{found:?}");
+    }
+
+    #[test]
+    fn float_accum_suppression_with_reason_silences_it() {
+        let src = "fn mean(xs: &[f64]) -> f64 {\n    \
+                   let mut sum = 0.0;\n    \
+                   for x in xs {\n        \
+                   // ador-lint: allow(float-accum) — display-only mean, drift invisible\n        \
+                   sum += x;\n    }\n    sum\n}\n";
+        assert!(lint_file(TELEMETRY, TELEMETRY_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn integer_accumulation_and_non_loop_float_adds_are_clean() {
+        // u64 `+=` in a loop, f64 `+=` outside any loop, and `impl … for`
+        // (not a loop) must all stay silent.
+        let src = "impl Agg for Sum {\n    \
+                   fn add(&mut self, xs: &[u64]) {\n        \
+                   let mut n = 0;\n        \
+                   for x in xs {\n            n += x;\n        }\n        \
+                   self.total += n;\n    }\n}\n\
+                   fn once(a: f64) -> f64 {\n    let mut t = 0.0;\n    t += a;\n    t\n}\n";
+        assert!(lint_file(TELEMETRY, TELEMETRY_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn float_accum_is_scoped_to_telemetry_library_paths() {
+        let src = "fn mean(xs: &[f64]) -> f64 {\n    \
+                   let mut sum = 0.0;\n    \
+                   for x in xs {\n        sum += x;\n    }\n    \
+                   sum\n}\n";
+        assert!(lint_file(SIM, "crates/serving/src/agg.rs", src).is_empty());
+        assert!(lint_file(TELEMETRY, "crates/telemetry/tests/agg.rs", src).is_empty());
+    }
 }

@@ -94,6 +94,13 @@ pub const RULES: &[RuleInfo] = &[
                   token/time quantities)",
     },
     RuleInfo {
+        id: "float-accum",
+        summary: "f64 `+=` accumulation in a loop in telemetry aggregation \
+                  code: floating-point accumulation drifts and breaks the \
+                  exact-merge guarantee; use integer nanoseconds (or \
+                  Kahan) or annotate why drift is acceptable",
+    },
+    RuleInfo {
         id: "allow-no-reason",
         summary: "#[allow(...)] or ador-lint suppression without a \
                   justification comment",
@@ -153,6 +160,17 @@ pub fn check(class: FileClass, path: &str, lexed: &Lexed) -> Vec<Finding> {
     } else {
         Vec::new()
     };
+
+    // Exact-merge protection applies to the telemetry crate's library
+    // code: its reports promise that merging partials reproduces the
+    // whole, which f64 accumulation order can silently break.
+    let float_scope = path.starts_with("crates/telemetry/src/");
+    let (floats, loops) = if float_scope {
+        (float_bindings(toks), loop_regions(toks))
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    let in_loop = |i: usize| loops.iter().any(|&(a, b)| i >= a && i < b);
 
     for i in 0..toks.len() {
         let t = &toks[i];
@@ -305,6 +323,28 @@ pub fn check(class: FileClass, path: &str, lexed: &Lexed) -> Vec<Finding> {
             }
         }
 
+        // --- exact-merge protection (telemetry library code only) ---
+        if float_scope
+            && !in_test(i)
+            && t.kind == TokKind::Ident
+            && floats.contains(&t.text)
+            && toks.get(i + 1).is_some_and(|n| n.is_punct('+'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('='))
+            && in_loop(i)
+        {
+            out.push(finding(
+                t,
+                "float-accum",
+                format!(
+                    "`{} +=` accumulates an f64 in a loop; rounding drifts \
+                     with summation order and breaks the exact-merge \
+                     guarantee — accumulate integer nanoseconds, or \
+                     annotate why drift is acceptable",
+                    t.text
+                ),
+            ));
+        }
+
         // --- hygiene (everywhere) ---
         if t.is_punct('#') {
             if let Some(allow_tok) = allow_attr_at(toks, i) {
@@ -392,6 +432,71 @@ fn for_loop_over(toks: &[Tok], i: usize, unordered: &[String]) -> Option<String>
     } else {
         None
     }
+}
+
+/// Identifiers bound as `f64` anywhere in the file: type ascriptions
+/// (`name: f64` on fields, `let`s and params — not `name::`) and float
+/// initializers (`name = 0.0`).
+fn float_bindings(toks: &[Tok]) -> Vec<String> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let is_float = match toks.get(i + 1) {
+            Some(t) if t.is_punct(':') && !toks.get(i + 2).is_some_and(|t| t.is_punct(':')) => {
+                toks.get(i + 2).is_some_and(|t| t.is_ident("f64"))
+            }
+            Some(t) if t.is_punct('=') => toks
+                .get(i + 2)
+                .is_some_and(|t| t.kind == TokKind::Num && t.text.contains('.')),
+            _ => false,
+        };
+        if is_float && !out.contains(&toks[i].text) {
+            out.push(toks[i].text.clone());
+        }
+    }
+    out
+}
+
+/// Token index ranges covered by loop bodies: the brace-balanced block
+/// after each `loop`, `while`, or `for … in …` keyword. `for` is only a
+/// loop when an `in` follows nearby (`impl X for Y` has none).
+fn loop_regions(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for i in 0..toks.len() {
+        let is_loop = match toks[i].text.as_str() {
+            _ if toks[i].kind != TokKind::Ident => false,
+            "loop" | "while" => true,
+            "for" => (i + 1..toks.len().min(i + 16)).any(|j| toks[j].is_ident("in")),
+            _ => false,
+        };
+        if !is_loop {
+            continue;
+        }
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct('{') {
+            j += 1;
+        }
+        if j >= toks.len() {
+            continue;
+        }
+        let start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].is_punct('{') {
+                depth += 1;
+            } else if toks[j].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        regions.push((start, j + 1));
+    }
+    regions
 }
 
 /// If the `#` at `toks[i]` opens an `#[allow(…)]` / `#![allow(…)]`

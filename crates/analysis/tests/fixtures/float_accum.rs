@@ -1,0 +1,20 @@
+//! Fixture: f64 `+=` accumulation in loops in telemetry aggregation code.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    let mut kahan = 0.0;
+    for x in xs {
+        sum += x;
+        // ador-lint: allow(float-accum) — compensated summation keeps drift bounded
+        kahan += x;
+    }
+    (sum + kahan) / 2.0
+}
+
+pub fn total(buckets: &[u64]) -> u64 {
+    let mut n = 0;
+    for b in buckets {
+        n += b;
+    }
+    n
+}

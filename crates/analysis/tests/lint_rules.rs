@@ -31,12 +31,24 @@ const FIXTURES: &[(&str, &str)] = &[
     ("map-iter", include_str!("fixtures/map_iter.rs")),
     ("panic", include_str!("fixtures/panic.rs")),
     ("as-cast", include_str!("fixtures/as_cast.rs")),
+    ("float-accum", include_str!("fixtures/float_accum.rs")),
     (
         "allow-no-reason",
         include_str!("fixtures/allow_no_reason.rs"),
     ),
     ("unused-allow", include_str!("fixtures/unused_allow.rs")),
 ];
+
+/// The path each rule's fixture is linted under: `float-accum` is scoped
+/// to the telemetry crate's library sources, everything else is
+/// path-independent.
+fn fixture_path(rule: &str) -> &'static str {
+    if rule == "float-accum" {
+        "crates/telemetry/src/fixture.rs"
+    } else {
+        "fixture.rs"
+    }
+}
 
 fn lines_for(findings: &[Finding], rule: &str) -> Vec<u32> {
     findings
@@ -113,8 +125,21 @@ fn as_cast_fires_in_library_code_only() {
 }
 
 #[test]
+fn float_accum_fires_in_telemetry_library_code_and_suppresses() {
+    let found = lint_file(SIM, "crates/telemetry/src/fixture.rs", FIXTURES[6].1);
+    // `sum +=` fires; the annotated `kahan +=` and the integer `n +=`
+    // stay silent.
+    assert_eq!(lines_for(&found, "float-accum"), vec![7]);
+    assert_suppressions_clean(&found);
+    assert_eq!(found.len(), 1, "{found:?}");
+    // Outside the telemetry crate the rule never fires.
+    let out = lint_file(SIM, "crates/serving/src/fixture.rs", FIXTURES[6].1);
+    assert_eq!(lines_for(&out, "float-accum"), Vec::<u32>::new());
+}
+
+#[test]
 fn allow_no_reason_fires_on_bare_attr_and_malformed_suppression() {
-    let found = lint_file(SIM, "allow_no_reason.rs", FIXTURES[6].1);
+    let found = lint_file(SIM, "allow_no_reason.rs", FIXTURES[7].1);
     // The bare `#[allow]` and the reasonless suppression; the justified
     // `#[allow]` stays silent.
     assert_eq!(lines_for(&found, "allow-no-reason"), vec![6, 14]);
@@ -123,7 +148,7 @@ fn allow_no_reason_fires_on_bare_attr_and_malformed_suppression() {
 
 #[test]
 fn unused_allow_fires_on_stale_suppression() {
-    let found = lint_file(SIM, "unused_allow.rs", FIXTURES[7].1);
+    let found = lint_file(SIM, "unused_allow.rs", FIXTURES[8].1);
     assert_eq!(lines_for(&found, "unused-allow"), vec![5]);
     assert_eq!(found.len(), 1, "{found:?}");
 }
@@ -133,7 +158,7 @@ fn every_rule_has_a_fixture_that_fires_it() {
     for info in RULES {
         let covered = FIXTURES.iter().any(|(rule, src)| {
             *rule == info.id
-                && lint_file(SIM, "fixture.rs", src)
+                && lint_file(SIM, fixture_path(rule), src)
                     .iter()
                     .any(|f| f.rule == info.id)
         });

@@ -660,6 +660,217 @@ pub mod schema {
         }
         Ok(())
     }
+
+    /// Request count above which [`validate_bench_attribution`] enforces
+    /// the attribution overhead budget (same fixed-cost rationale as
+    /// [`TELEMETRY_OVERHEAD_FLOOR_REQUESTS`]).
+    pub const ATTRIBUTION_OVERHEAD_FLOOR_REQUESTS: f64 = 100_000.0;
+
+    /// Maximum accepted attribution-on / tracing-only wall-clock ratio at
+    /// or above [`ATTRIBUTION_OVERHEAD_FLOOR_REQUESTS`]: replaying the
+    /// event streams into blame ledgers must stay within 10 % of the
+    /// traced fleet it post-processes.
+    pub const ATTRIBUTION_OVERHEAD_CAP: f64 = 1.10;
+
+    /// Maximum accepted steady-state-decode allocations per engine step
+    /// in a full-run artifact. The step loop reuses its scratch buffers,
+    /// so per-step allocation pressure is bounded by batch bookkeeping,
+    /// not token counts; the cap holds headroom over the measured grid
+    /// while still catching an accidental per-step `Vec` rebuild.
+    pub const STEADY_DECODE_ALLOCS_PER_STEP_CAP: f64 = 256.0;
+
+    /// Validates a `BENCH_attribution.json` document (emitted by the
+    /// `bench_attribution` target): attribution overhead, self-profiled
+    /// allocations per step, and the aggregated-vs-disaggregated blame
+    /// comparison.
+    ///
+    /// Checked invariants, not specific grid values — so a `--quick`
+    /// smoke run and the full committed artifact both pass:
+    /// - top-level object named `"bench_attribution"` with a positive
+    ///   `rate_per_replica`, a numeric `seed` and a boolean `quick` flag;
+    /// - a non-empty `overhead_cells` array; every cell has integral
+    ///   `replicas` / `requests` counts ≥ 1, positive finite `traced_s` /
+    ///   `attributed_s`, an `overhead` consistent with their ratio, and
+    ///   `conserved` / `reports_equal` both `true` — the bench re-checks
+    ///   per-request conservation and report non-perturbation on the
+    ///   measured runs themselves;
+    /// - cells with at least [`ATTRIBUTION_OVERHEAD_FLOOR_REQUESTS`]
+    ///   requests keep `overhead` ≤ [`ATTRIBUTION_OVERHEAD_CAP`];
+    /// - a non-empty `alloc_cells` array; every cell has integral
+    ///   `replicas` / `steps` counts ≥ 1 and a finite non-negative
+    ///   `allocs_per_step`, capped at
+    ///   [`STEADY_DECODE_ALLOCS_PER_STEP_CAP`] in full runs;
+    /// - a `blame` object whose `aggregated` and `disaggregated` halves
+    ///   each carry integral `requests` ≥ 1, `misses` in `[0, requests]`,
+    ///   a `top_cause` naming a real
+    ///   [`MissCause`](ador_core::telemetry::MissCause) label and a
+    ///   finite non-negative `lost_ms`; full runs must pin the blame
+    ///   shift — the aggregated fleet blames `prefill-interference`, the
+    ///   disaggregated fleet blames something else, and `shifted` is
+    ///   `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_bench_attribution(text: &str) -> Result<(), String> {
+        let doc = json::parse(text)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or("missing `name`")?;
+        if name != "bench_attribution" {
+            return Err(format!("unexpected artifact name `{name}`"));
+        }
+        let rate = doc
+            .get("rate_per_replica")
+            .and_then(Value::as_f64)
+            .ok_or("missing `rate_per_replica`")?;
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(format!("non-positive rate_per_replica {rate}"));
+        }
+        doc.get("seed")
+            .and_then(Value::as_f64)
+            .ok_or("missing `seed`")?;
+        let quick = doc
+            .get("quick")
+            .and_then(Value::as_bool)
+            .ok_or("missing `quick`")?;
+
+        let count_in = |cell: &Value, i: usize, key: &str| -> Result<f64, String> {
+            let x = cell
+                .get(key)
+                .and_then(Value::as_f64)
+                .ok_or(format!("cell {i}: missing `{key}`"))?;
+            if x < 1.0 || x.fract() != 0.0 {
+                return Err(format!("cell {i}: `{key}` must be an integer ≥ 1, got {x}"));
+            }
+            Ok(x)
+        };
+
+        let cells = doc
+            .get("overhead_cells")
+            .and_then(Value::as_array)
+            .ok_or("missing `overhead_cells` array")?;
+        if cells.is_empty() {
+            return Err("empty `overhead_cells` array".to_string());
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            count_in(cell, i, "replicas")?;
+            let requests = count_in(cell, i, "requests")?;
+            let secs = |key: &str| -> Result<f64, String> {
+                let x = cell
+                    .get(key)
+                    .and_then(Value::as_f64)
+                    .ok_or(format!("cell {i}: missing `{key}`"))?;
+                if !(x > 0.0 && x.is_finite()) {
+                    return Err(format!("cell {i}: `{key}` must be positive, got {x}"));
+                }
+                Ok(x)
+            };
+            let traced = secs("traced_s")?;
+            let attributed = secs("attributed_s")?;
+            let overhead = secs("overhead")?;
+            if (overhead - attributed / traced).abs() > 0.01 * (attributed / traced) {
+                return Err(format!(
+                    "cell {i}: overhead {overhead} inconsistent with {attributed}/{traced}"
+                ));
+            }
+            if requests >= ATTRIBUTION_OVERHEAD_FLOOR_REQUESTS
+                && overhead > ATTRIBUTION_OVERHEAD_CAP
+            {
+                return Err(format!(
+                    "cell {i}: overhead {overhead} exceeds the {ATTRIBUTION_OVERHEAD_CAP} \
+                     budget at {requests} requests"
+                ));
+            }
+            for key in ["conserved", "reports_equal"] {
+                if cell.get(key).and_then(Value::as_bool) != Some(true) {
+                    return Err(format!("cell {i}: `{key}` must be true"));
+                }
+            }
+        }
+
+        let allocs = doc
+            .get("alloc_cells")
+            .and_then(Value::as_array)
+            .ok_or("missing `alloc_cells` array")?;
+        if allocs.is_empty() {
+            return Err("empty `alloc_cells` array".to_string());
+        }
+        for (i, cell) in allocs.iter().enumerate() {
+            count_in(cell, i, "replicas")?;
+            count_in(cell, i, "steps")?;
+            let aps = cell
+                .get("allocs_per_step")
+                .and_then(Value::as_f64)
+                .ok_or(format!("alloc cell {i}: missing `allocs_per_step`"))?;
+            if !(aps >= 0.0 && aps.is_finite()) {
+                return Err(format!(
+                    "alloc cell {i}: `allocs_per_step` must be non-negative, got {aps}"
+                ));
+            }
+            if !quick && aps > STEADY_DECODE_ALLOCS_PER_STEP_CAP {
+                return Err(format!(
+                    "alloc cell {i}: allocs_per_step {aps} exceeds the \
+                     {STEADY_DECODE_ALLOCS_PER_STEP_CAP} steady-decode budget"
+                ));
+            }
+        }
+
+        let blame = doc.get("blame").ok_or("missing `blame`")?;
+        let check_side = |what: &str| -> Result<String, String> {
+            let side = blame.get(what).ok_or(format!("blame: missing `{what}`"))?;
+            let requests =
+                count_in(side, 0, "requests").map_err(|e| format!("blame.{what}: {e}"))?;
+            let misses = side
+                .get("misses")
+                .and_then(Value::as_f64)
+                .ok_or(format!("blame.{what}: missing `misses`"))?;
+            if misses < 0.0 || misses.fract() != 0.0 || misses > requests {
+                return Err(format!(
+                    "blame.{what}: misses {misses} outside [0, {requests}]"
+                ));
+            }
+            let cause = side
+                .get("top_cause")
+                .and_then(Value::as_str)
+                .ok_or(format!("blame.{what}: missing `top_cause`"))?;
+            if !ador_core::telemetry::MISS_CAUSES
+                .iter()
+                .any(|c| c.label() == cause)
+            {
+                return Err(format!("blame.{what}: unknown cause `{cause}`"));
+            }
+            let lost = side
+                .get("lost_ms")
+                .and_then(Value::as_f64)
+                .ok_or(format!("blame.{what}: missing `lost_ms`"))?;
+            if !(lost >= 0.0 && lost.is_finite()) {
+                return Err(format!("blame.{what}: lost_ms {lost} must be non-negative"));
+            }
+            Ok(cause.to_string())
+        };
+        let aggregated = check_side("aggregated")?;
+        let disaggregated = check_side("disaggregated")?;
+        let shifted = blame
+            .get("shifted")
+            .and_then(Value::as_bool)
+            .ok_or("blame: missing `shifted`")?;
+        if !quick {
+            if aggregated != "prefill-interference" {
+                return Err(format!(
+                    "full-run artifact must blame the aggregated fleet on \
+                     prefill-interference, got `{aggregated}`"
+                ));
+            }
+            if !shifted || disaggregated == aggregated {
+                return Err(
+                    "full-run artifact must carry the disaggregation blame shift".to_string(),
+                );
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -935,6 +1146,187 @@ mod tests {
             "attainment above 1"
         );
         let renamed = disagg_doc(false, true, &winner, &homog).replace("bench_disagg", "other");
+        assert!(validate(&renamed).is_err(), "wrong artifact name");
+    }
+
+    fn attr_overhead_cell(requests: f64, traced: f64, attributed: f64, flags: bool) -> String {
+        json::object(&[
+            ("replicas", json::num(4.0)),
+            ("requests", json::num(requests)),
+            ("traced_s", json::num(traced)),
+            ("attributed_s", json::num(attributed)),
+            ("overhead", json::num(attributed / traced)),
+            ("conserved", flags.to_string()),
+            ("reports_equal", flags.to_string()),
+        ])
+    }
+
+    fn attr_alloc_cell(allocs_per_step: f64) -> String {
+        json::object(&[
+            ("replicas", json::num(4.0)),
+            ("steps", json::num(512.0)),
+            ("allocs_per_step", json::num(allocs_per_step)),
+        ])
+    }
+
+    fn attr_blame_side(top_cause: &str) -> String {
+        json::object(&[
+            ("requests", json::num(400.0)),
+            ("misses", json::num(120.0)),
+            ("top_cause", json::string(top_cause)),
+            ("lost_ms", json::num(84_000.0)),
+        ])
+    }
+
+    fn attribution_doc(
+        quick: bool,
+        cells: &[String],
+        allocs: &[String],
+        aggregated: &str,
+        disaggregated: &str,
+        shifted: bool,
+    ) -> String {
+        json::object(&[
+            ("name", json::string("bench_attribution")),
+            ("rate_per_replica", json::num(6.0)),
+            ("seed", json::num(23.0)),
+            ("quick", quick.to_string()),
+            ("overhead_cells", json::array(cells)),
+            ("alloc_cells", json::array(allocs)),
+            (
+                "blame",
+                json::object(&[
+                    ("aggregated", attr_blame_side(aggregated)),
+                    ("disaggregated", attr_blame_side(disaggregated)),
+                    ("shifted", shifted.to_string()),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bench_attribution_schema_accepts_full_and_quick_artifacts() {
+        let cells = [
+            attr_overhead_cell(600.0, 0.01, 0.02, true), // small cells escape the cap
+            attr_overhead_cell(100_000.0, 60.0, 62.0, true),
+        ];
+        let allocs = [attr_alloc_cell(12.5)];
+        let full = attribution_doc(
+            false,
+            &cells,
+            &allocs,
+            "prefill-interference",
+            "queue",
+            true,
+        );
+        crate::schema::validate_bench_attribution(&full).unwrap();
+        // A quick smoke artifact is exempt from the blame-shift pin and
+        // the alloc cap.
+        let quick = attribution_doc(
+            true,
+            &[attr_overhead_cell(300.0, 0.01, 0.02, true)],
+            &[attr_alloc_cell(10_000.0)],
+            "queue",
+            "queue",
+            false,
+        );
+        crate::schema::validate_bench_attribution(&quick).unwrap();
+    }
+
+    #[test]
+    fn bench_attribution_schema_rejects_structural_violations() {
+        let validate = crate::schema::validate_bench_attribution;
+        let ok_cell = attr_overhead_cell(600.0, 0.01, 0.02, true);
+        let ok_alloc = attr_alloc_cell(12.5);
+        let doc = |cells: &[String], allocs: &[String], agg: &str, dis: &str, shifted: bool| {
+            attribution_doc(false, cells, allocs, agg, dis, shifted)
+        };
+        assert!(validate("not json").is_err());
+        assert!(
+            validate(&doc(
+                &[],
+                std::slice::from_ref(&ok_alloc),
+                "prefill-interference",
+                "queue",
+                true
+            ))
+            .is_err(),
+            "empty overhead grid"
+        );
+        assert!(
+            validate(&doc(
+                &[attr_overhead_cell(600.0, 0.01, 0.02, false)],
+                std::slice::from_ref(&ok_alloc),
+                "prefill-interference",
+                "queue",
+                true
+            ))
+            .is_err(),
+            "conservation or perturbation check failed"
+        );
+        assert!(
+            validate(&doc(
+                &[attr_overhead_cell(100_000.0, 60.0, 70.0, true)],
+                std::slice::from_ref(&ok_alloc),
+                "prefill-interference",
+                "queue",
+                true
+            ))
+            .is_err(),
+            "overhead budget blown at the enforced scale"
+        );
+        assert!(
+            validate(&doc(
+                std::slice::from_ref(&ok_cell),
+                &[attr_alloc_cell(10_000.0)],
+                "prefill-interference",
+                "queue",
+                true
+            ))
+            .is_err(),
+            "alloc budget blown in a full run"
+        );
+        assert!(
+            validate(&doc(
+                std::slice::from_ref(&ok_cell),
+                std::slice::from_ref(&ok_alloc),
+                "queue",
+                "decode-stall",
+                true
+            ))
+            .is_err(),
+            "full run must blame the aggregated fleet on prefill-interference"
+        );
+        assert!(
+            validate(&doc(
+                std::slice::from_ref(&ok_cell),
+                std::slice::from_ref(&ok_alloc),
+                "prefill-interference",
+                "prefill-interference",
+                false
+            ))
+            .is_err(),
+            "full run must carry the blame shift"
+        );
+        assert!(
+            validate(&doc(
+                std::slice::from_ref(&ok_cell),
+                std::slice::from_ref(&ok_alloc),
+                "prefill-interference",
+                "no-such-cause",
+                true
+            ))
+            .is_err(),
+            "unknown miss cause"
+        );
+        let renamed = doc(
+            &[ok_cell],
+            &[ok_alloc],
+            "prefill-interference",
+            "queue",
+            true,
+        )
+        .replace("bench_attribution", "other");
         assert!(validate(&renamed).is_err(), "wrong artifact name");
     }
 }

@@ -22,11 +22,13 @@ use ador_perf::Deployment;
 use ador_serving::{
     Engine, EngineCounters, QosReport, Request, RequestOutcome, ServingSim, SimConfig, SimError,
 };
-use ador_telemetry::{goodput_series, Event, EventKind, TelemetryConfig, TimeSeries};
+use ador_telemetry::{
+    goodput_series, AttributionReport, Event, EventKind, TelemetryConfig, TimeSeries,
+};
 use ador_units::{conv, Seconds};
 use serde::Serialize;
 
-use crate::report::{imbalance, FleetTelemetry};
+use crate::report::{imbalance, FleetAttribution, FleetTelemetry};
 use crate::{
     ClusterRequest, FleetReport, FleetSpec, KvLink, PoolRole, ReplicaSnapshot, Router,
     RouterPolicy, TenantClass, TenantMix, TenantQos, Topology,
@@ -353,6 +355,10 @@ pub struct ClusterSim<'a> {
     /// differ under [`ClusterSim::new_fleet`]; the first enabled one
     /// decides whether the report carries a telemetry block.
     telemetry_cfg: TelemetryConfig,
+    /// Pool role per replica, index-aligned with `engines` (all
+    /// `Unified` for aggregated fleets) — tags the per-replica telemetry
+    /// artifacts so pools stay separable in the report.
+    roles: Vec<PoolRole>,
 }
 
 impl<'a> ClusterSim<'a> {
@@ -472,6 +478,7 @@ impl<'a> ClusterSim<'a> {
             kv_transfers: 0,
             kv_transferred_tokens: 0,
             telemetry_cfg,
+            roles,
         })
     }
 
@@ -1044,6 +1051,10 @@ impl<'a> ClusterSim<'a> {
             );
         }
         let telemetry = self.collect_telemetry();
+        let attribution = match &telemetry {
+            Some(t) if self.telemetry_cfg.attribution_enabled() => Some(self.attribute(&t.events)),
+            _ => None,
+        };
         let per_replica: Vec<Option<QosReport>> = self.engines.iter().map(|e| e.report()).collect();
         let completed_reports: Vec<QosReport> = per_replica.iter().flatten().cloned().collect();
         let fleet = if self.link.is_some() {
@@ -1142,6 +1153,7 @@ impl<'a> ClusterSim<'a> {
             kv_transfers: self.kv_transfers,
             kv_transferred_tokens: self.kv_transferred_tokens,
             telemetry,
+            attribution,
         }
     }
 
@@ -1166,11 +1178,17 @@ impl<'a> ClusterSim<'a> {
                     .unwrap_or_default()
             })
             .collect();
-        let series: Vec<TimeSeries> = self
-            .engines
-            .iter_mut()
-            .filter_map(|e| e.take_series().map(ador_telemetry::SeriesCollector::finish))
-            .collect();
+        // Series and their pool-role tags are built in one pass so the
+        // two vectors stay index-aligned even when some replicas carry
+        // no collector.
+        let mut series: Vec<TimeSeries> = Vec::new();
+        let mut series_roles: Vec<PoolRole> = Vec::new();
+        for (i, e) in self.engines.iter_mut().enumerate() {
+            if let Some(collector) = e.take_series() {
+                series.push(ador_telemetry::SeriesCollector::finish(collector));
+                series_roles.push(self.roles[i]);
+            }
+        }
         // The lane accumulates in classification/delivery order; pin a
         // single time-ordered view (starts before ends at equal stamps).
         let mut transfer_events = std::mem::take(&mut self.transfer_events);
@@ -1218,10 +1236,55 @@ impl<'a> ClusterSim<'a> {
         Some(FleetTelemetry {
             events,
             series,
+            series_roles,
             tenant_goodput,
             goodput_interval,
             transfer_events,
         })
+    }
+
+    /// Replays the recorded event streams into per-tenant blame ledgers
+    /// (see [`ador_telemetry::attribution`]): each attributed request is
+    /// judged against its tenant's SLO, misses are blamed on their
+    /// dominant loss, and shed requests are counted without time-loss.
+    /// The fleet ledger is the exact merge of the tenant ledgers.
+    fn attribute(&self, events: &[Vec<Event>]) -> FleetAttribution {
+        let mut met: BTreeMap<u64, bool> = BTreeMap::new();
+        let mut judge = |o: &RequestOutcome, classes: &[TenantClass]| {
+            let slo = classes[self.tenant_of[&o.request.id]].slo;
+            met.insert(o.request.id, slo.met(o));
+        };
+        if self.link.is_some() {
+            // Halves mean nothing to a user: judge stitched end-to-end
+            // outcomes, exactly like the per-tenant QoS does.
+            for o in &self.stitched {
+                judge(o, &self.classes);
+            }
+        } else {
+            for engine in &self.engines {
+                for o in engine.outcomes() {
+                    judge(o, &self.classes);
+                }
+            }
+        }
+        let mut per_tenant = vec![AttributionReport::default(); self.classes.len()];
+        for attr in ador_telemetry::attribute_events(events) {
+            let Some(&tenant) = self.tenant_of.get(&attr.request) else {
+                continue;
+            };
+            // Requests with no judged outcome (still in flight at a
+            // truncated ring's horizon) cannot have missed.
+            let missed = !met.get(&attr.request).copied().unwrap_or(true);
+            per_tenant[tenant].record(&attr, missed);
+        }
+        for (tenant, &rejected) in self.rejected_per_tenant.iter().enumerate() {
+            per_tenant[tenant].record_shed(conv::u64_from_usize(rejected));
+        }
+        let mut fleet = AttributionReport::default();
+        for tenant in &per_tenant {
+            fleet.merge(tenant);
+        }
+        FleetAttribution { per_tenant, fleet }
     }
 }
 

@@ -98,6 +98,6 @@ mod tenant;
 pub use capacity::{cluster_capacity, ClusterCapacityResult};
 pub use cluster::{ClusterConfig, ClusterSim, DriveMode};
 pub use fleet::{FleetSpec, KvLink, PoolRole, ReplicaSpec, Topology};
-pub use report::{FleetReport, FleetTelemetry, TenantQos};
+pub use report::{FleetAttribution, FleetReport, FleetTelemetry, TenantQos};
 pub use router::{ReplicaSnapshot, Router, RouterPolicy, AFFINITY_SPILL};
 pub use tenant::{ArrivalProcess, ClusterRequest, SessionShape, TenantClass, TenantMix};

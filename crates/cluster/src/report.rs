@@ -2,11 +2,11 @@
 //! utilization imbalance, and the merged engine-level report.
 
 use ador_serving::{LatencyStats, QosReport, RequestOutcome, Slo};
-use ador_telemetry::{Event, TimeSeries};
+use ador_telemetry::{AttributionReport, Event, TimeSeries};
 use ador_units::{conv, Seconds};
 use serde::Serialize;
 
-use crate::RouterPolicy;
+use crate::{PoolRole, RouterPolicy};
 
 /// QoS of one tenant class across the whole fleet.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -85,6 +85,11 @@ pub struct FleetTelemetry {
     /// Per-replica windowed time series (empty when no series interval
     /// was configured).
     pub series: Vec<TimeSeries>,
+    /// Pool role of each entry in `series`, index-aligned: under
+    /// disaggregation the prefill-pool and decode-pool streams stay
+    /// separable (transfer backpressure shows up decode-side only), and
+    /// aggregated fleets carry all-`Unified` tags.
+    pub series_roles: Vec<PoolRole>,
     /// Per-tenant goodput (completed tokens/s) per window of
     /// `goodput_interval`, over the shared fleet clock. Empty when no
     /// series interval was configured.
@@ -99,6 +104,19 @@ pub struct FleetTelemetry {
     /// stamped on its decode replica at maturity, as `(replica, event)`
     /// pairs. Empty for aggregated topologies.
     pub transfer_events: Vec<(usize, Event)>,
+}
+
+/// Time-loss attribution of one cluster run (see
+/// [`ador_telemetry::attribution`]): per-tenant and fleet-wide blame
+/// ledgers built by replaying the recorded event streams. The fleet
+/// report is the exact merge of the tenant reports — integer
+/// nanoseconds end to end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct FleetAttribution {
+    /// Per-tenant blame, indexed like the mix's classes.
+    pub per_tenant: Vec<AttributionReport>,
+    /// The whole-fleet ledger (exact merge of `per_tenant`).
+    pub fleet: AttributionReport,
 }
 
 /// The QoS report of one cluster run: the fleet total, its per-replica and
@@ -149,6 +167,11 @@ pub struct FleetReport {
     /// Observability artifacts (event streams, time series, per-tenant
     /// goodput), or `None` when the run was untraced.
     pub telemetry: Option<FleetTelemetry>,
+    /// SLO-miss attribution, present only when the telemetry config
+    /// opted in ([`TelemetryConfig::with_attribution`](ador_telemetry::TelemetryConfig))
+    /// on top of an event sink — `None` otherwise, so plain traced
+    /// reports stay bit-identical to earlier releases.
+    pub attribution: Option<FleetAttribution>,
 }
 
 impl FleetReport {

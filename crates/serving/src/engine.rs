@@ -249,6 +249,10 @@ pub struct Engine<'a> {
     sink: Option<EngineSink>,
     /// Windowed time-series collector — `None` when off.
     series: Option<SeriesCollector>,
+    /// Span-scoped self-profile of the step stages (compiled out — and
+    /// therefore bit-identical — without the `profile` feature).
+    #[cfg(feature = "profile")]
+    profile: crate::profile::StepProfile,
 }
 
 /// Monomorphized storage for the built-in sinks. The engine emits one
@@ -333,7 +337,16 @@ impl<'a> Engine<'a> {
                 }
             },
             series: cfg.telemetry.series_interval.map(SeriesCollector::new),
+            #[cfg(feature = "profile")]
+            profile: crate::profile::StepProfile::default(),
         }
+    }
+
+    /// The accumulated per-stage self-profile of every step this engine
+    /// ran (see [`crate::profile`]).
+    #[cfg(feature = "profile")]
+    pub fn step_profile(&self) -> &crate::profile::StepProfile {
+        &self.profile
     }
 
     /// Records `kind` for `request` at sim time `time` — a no-op (not even
@@ -578,6 +591,8 @@ impl<'a> Engine<'a> {
     }
 
     fn step_inner(&mut self, horizon: Option<Seconds>) -> Result<StepEvent, SimError> {
+        #[cfg(feature = "profile")]
+        let mut profile_mark = crate::profile::probe_now();
         loop {
             // Move arrivals into the admission queue (preempted jobs were
             // pushed to the front and resume first).
@@ -593,6 +608,9 @@ impl<'a> Engine<'a> {
                 self.waiting
                     .push_back(Job::new(request, self.cfg.speculation.seed));
             }
+            #[cfg(feature = "profile")]
+            self.profile
+                .record(crate::profile::Stage::Arrivals, &mut profile_mark);
             if self.active.is_empty() && self.waiting.is_empty() {
                 match self.pending.front() {
                     Some(next) if horizon.is_none_or(|h| next.arrival <= h) => {
@@ -676,6 +694,9 @@ impl<'a> Engine<'a> {
                 growth += verify.committed;
                 plan.push(Some(verify));
             }
+            #[cfg(feature = "profile")]
+            self.profile
+                .record(crate::profile::Stage::Speculation, &mut profile_mark);
 
             // KV pressure: this step grows every decoding context by its
             // committed run. Evict cold cached prefix blocks first; only
@@ -806,27 +827,41 @@ impl<'a> Engine<'a> {
                 // imported KV becomes resident right here.
                 self.backlog -= cached + imported;
                 self.charge_kv(imported);
-                Self::emit(
-                    &mut self.sink,
-                    self.now,
-                    job.request.id,
-                    if job.preempted {
-                        EventKind::Resume
+                let kind = if job.preempted {
+                    EventKind::Resume
+                } else {
+                    // The request-alone prefill lower bound for the
+                    // remaining prompt: what attribution measures the
+                    // admission-to-first-commit span against. Priced
+                    // only when tracing is on, so the untraced path
+                    // stays bit-identical.
+                    let ideal_us = if self.sink.is_some() {
+                        let alone = self.prefill_time(1, remaining)?;
+                        conv::u32_from_usize(conv::usize_from_f64(alone.as_micros().round()))
                     } else {
-                        EventKind::Admit {
-                            cached_tokens: conv::u32_from_usize(cached),
-                        }
-                    },
-                );
+                        0
+                    };
+                    EventKind::Admit {
+                        cached_tokens: conv::u32_from_usize(cached),
+                        ideal_us,
+                    }
+                };
+                Self::emit(&mut self.sink, self.now, job.request.id, kind);
                 chunks.push((self.active.len(), take));
                 self.active
                     .push(Active::admit(job, cached, cache_node, imported));
             }
+            #[cfg(feature = "profile")]
+            self.profile
+                .record(crate::profile::Stage::Admission, &mut profile_mark);
 
             // All actives mid-prefill with zero headroom and nobody
             // decoding: evict the youngest so the oldest can proceed.
             if decoders == 0 && chunks.is_empty() && self.active.len() > 1 {
                 self.preempt_youngest();
+                #[cfg(feature = "profile")]
+                self.profile
+                    .record(crate::profile::Stage::Admission, &mut profile_mark);
                 continue;
             }
 
@@ -872,6 +907,9 @@ impl<'a> Engine<'a> {
             self.now += step_time;
             self.steps += 1;
             self.prev_step_prefilled = prefill_tokens > 0;
+            #[cfg(feature = "profile")]
+            self.profile
+                .record(crate::profile::Stage::Timing, &mut profile_mark);
 
             // Apply prefill progress token-granularly; prompts whose pass
             // completed publish their full-block prefix into the cache so
@@ -1010,6 +1048,12 @@ impl<'a> Engine<'a> {
                 self.kv_in_use,
                 self.kv_budget_tokens
             );
+            #[cfg(feature = "profile")]
+            {
+                self.profile
+                    .record(crate::profile::Stage::Commit, &mut profile_mark);
+                self.profile.steps += 1;
+            }
             return Ok(StepEvent::Worked {
                 step_time,
                 completed,
@@ -1645,7 +1689,17 @@ mod tests {
         assert!(eng.take_event_sink().is_none(), "sink was detached");
         let kinds: Vec<EventKind> = events.iter().map(|e| e.kind).collect();
         assert_eq!(kinds[0], EventKind::Enqueue);
-        assert_eq!(kinds[1], EventKind::Admit { cached_tokens: 0 });
+        assert!(
+            matches!(
+                kinds[1],
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us
+                } if ideal_us > 0
+            ),
+            "admit carries the request-alone prefill bound: {:?}",
+            kinds[1]
+        );
         assert_eq!(
             kinds[2..4],
             [

@@ -71,6 +71,8 @@ mod capacity;
 mod engine;
 mod generator;
 mod prefix;
+#[cfg(feature = "profile")]
+pub mod profile;
 mod qos;
 mod request;
 mod sim;

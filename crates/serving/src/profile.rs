@@ -1,0 +1,169 @@
+//! Deterministic self-profiler for the engine hot path (`profile`
+//! feature only).
+//!
+//! The ROADMAP's per-step allocation audit needs to know *where inside
+//! [`crate::Engine::step`]* allocations happen, not just how many the
+//! process makes. This module provides span-scoped counters around the
+//! step's stages without breaking two contracts:
+//!
+//! * **Determinism** — nothing here reads a wall clock. The only probe
+//!   is an allocation *count*, which is a pure function of the work the
+//!   deterministic simulator does, so profiled runs replay exactly.
+//! * **`forbid(unsafe_code)`** — a counting [`std::alloc::GlobalAlloc`]
+//!   is unavoidably `unsafe`, so it cannot live in this crate. Instead
+//!   the harness that owns the `#[global_allocator]` (a bench or test
+//!   binary) installs a probe callback via [`install_alloc_probe`]; the
+//!   engine only ever calls the safe `fn() -> u64`.
+//!
+//! Everything is compiled out without the feature: the engine gains no
+//! field, no branch, and no code, keeping the default build
+//! bit-identical.
+
+use std::sync::OnceLock;
+
+/// The process-wide allocation-count probe (monotone counter reads).
+static ALLOC_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Installs the allocation-count probe the engine's stage counters
+/// read. Call once from the binary that owns the counting
+/// `#[global_allocator]`; returns `false` if a probe was already
+/// installed (the existing one wins — probes are process-global).
+pub fn install_alloc_probe(probe: fn() -> u64) -> bool {
+    ALLOC_PROBE.set(probe).is_ok()
+}
+
+/// Current allocation count, or 0 when no probe is installed.
+#[must_use]
+pub fn probe_now() -> u64 {
+    ALLOC_PROBE.get().map_or(0, |probe| probe())
+}
+
+/// The stages of one [`crate::Engine::step`] iteration, in execution
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Moving arrived requests into the admission queue.
+    Arrivals,
+    /// Speculation depth planning and acceptance draws.
+    Speculation,
+    /// KV-pressure preemption, prefill continuation and admission.
+    Admission,
+    /// Step-latency evaluation through the cost model.
+    Timing,
+    /// Token commits, completions and telemetry sampling.
+    Commit,
+}
+
+/// Every stage, in execution order (the report layout).
+pub const STAGES: [Stage; 5] = [
+    Stage::Arrivals,
+    Stage::Speculation,
+    Stage::Admission,
+    Stage::Timing,
+    Stage::Commit,
+];
+
+impl Stage {
+    /// Position in [`STAGES`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Self::Arrivals => 0,
+            Self::Speculation => 1,
+            Self::Admission => 2,
+            Self::Timing => 3,
+            Self::Commit => 4,
+        }
+    }
+
+    /// Stable label for tables and JSON artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Arrivals => "arrivals",
+            Self::Speculation => "speculation",
+            Self::Admission => "admission",
+            Self::Timing => "timing",
+            Self::Commit => "commit",
+        }
+    }
+}
+
+/// One stage's accumulated counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Times the stage ran (≥ steps: the scheduler loop can retry).
+    pub calls: u64,
+    /// Heap allocations attributed to the stage (0 without a probe).
+    pub allocs: u64,
+}
+
+/// Accumulated per-stage profile of every step the engine ran.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StepProfile {
+    /// Productive steps profiled.
+    pub steps: u64,
+    /// Per-stage counters, indexed like [`STAGES`].
+    pub stages: [StageCounters; STAGES.len()],
+}
+
+impl StepProfile {
+    /// Charges the allocations since `mark` to `stage` and re-arms the
+    /// mark for the next stage.
+    pub(crate) fn record(&mut self, stage: Stage, mark: &mut u64) {
+        let now = probe_now();
+        let s = &mut self.stages[stage.index()];
+        s.calls += 1;
+        s.allocs += now.saturating_sub(*mark);
+        *mark = now;
+    }
+
+    /// One stage's counters.
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> StageCounters {
+        self.stages[stage.index()]
+    }
+
+    /// Total allocations across all stages.
+    #[must_use]
+    pub fn total_allocs(&self) -> u64 {
+        self.stages.iter().map(|s| s.allocs).sum()
+    }
+
+    /// Mean allocations per profiled step (0 when nothing ran).
+    #[must_use]
+    pub fn allocs_per_step(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        ador_units::conv::f64_from_u64(self.total_allocs())
+            / ador_units::conv::f64_from_u64(self.steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_indices_match_the_layout() {
+        for (i, stage) in STAGES.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+            assert!(!stage.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn record_charges_the_delta_and_rearms_the_mark() {
+        // No probe installed in unit tests: probe_now() is 0, so the
+        // deltas are zero but calls still count.
+        let mut profile = StepProfile::default();
+        let mut mark = 0u64;
+        profile.record(Stage::Arrivals, &mut mark);
+        profile.record(Stage::Commit, &mut mark);
+        assert_eq!(profile.stage(Stage::Arrivals).calls, 1);
+        assert_eq!(profile.stage(Stage::Commit).calls, 1);
+        assert_eq!(profile.total_allocs(), 0);
+        assert_eq!(profile.allocs_per_step(), 0.0);
+    }
+}

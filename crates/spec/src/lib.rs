@@ -319,6 +319,20 @@ impl Verify {
     pub fn rejected(&self) -> usize {
         self.drafted - self.accepted
     }
+
+    /// The wasted share of the verify step's wall time as an exact
+    /// rational `(rejected, drafted + 1)`: the pass processed
+    /// `drafted + 1` candidate positions (the drafts plus its own
+    /// correction/bonus token), of which `rejected` bought nothing.
+    ///
+    /// This is the ratio time-loss attribution charges to speculative
+    /// waste — kept as an integer pair (not an `f64`) so a step
+    /// duration multiplied through it partitions exactly, preserving
+    /// the conservation invariant of
+    /// `ador_telemetry::attribution`.
+    pub fn waste_ratio(&self) -> (usize, usize) {
+        (self.rejected(), self.drafted + 1)
+    }
 }
 
 /// The per-request acceptance process: a counter-mode SplitMix64 stream
@@ -402,6 +416,23 @@ mod tests {
     #![allow(clippy::unwrap_used)]
 
     use super::*;
+
+    #[test]
+    fn waste_ratio_is_the_rejected_share_of_verify_positions() {
+        let verify = Verify {
+            drafted: 3,
+            accepted: 1,
+            committed: 2,
+        };
+        assert_eq!(verify.rejected(), 2);
+        assert_eq!(verify.waste_ratio(), (2, 4));
+        let clean = Verify {
+            drafted: 0,
+            accepted: 0,
+            committed: 1,
+        };
+        assert_eq!(clean.waste_ratio(), (0, 1), "plain decode wastes nothing");
+    }
 
     #[test]
     fn off_and_fixed_zero_never_speculate() {

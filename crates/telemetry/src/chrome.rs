@@ -79,7 +79,14 @@ mod tests {
     fn sample_stream() -> Vec<Event> {
         vec![
             ev(0.0, 1, EventKind::Enqueue),
-            ev(0.001, 1, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                0.001,
+                1,
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us: 0,
+                },
+            ),
             ev(
                 0.002,
                 1,

@@ -26,6 +26,13 @@ pub enum EventKind {
     Admit {
         /// Prompt tokens served from the prefix cache on admission.
         cached_tokens: u32,
+        /// Request-alone prefill lower bound from the replica's cost
+        /// model, in whole microseconds: what prefilling the remaining
+        /// prompt would cost if the request had the engine to itself.
+        /// Attribution splits the measured prefill span into this ideal
+        /// part and chunked-prefill interference. Zero when the emitter
+        /// has no cost model at hand.
+        ideal_us: u32,
     },
     /// A previously preempted request re-entered the running batch (its
     /// context is recomputed from scratch).
@@ -239,7 +246,14 @@ mod tests {
     fn vec_sink_preserves_order_and_drains() {
         let mut sink = VecSink::new();
         sink.record(&ev(0.0, 1, EventKind::Enqueue));
-        sink.record(&ev(0.5, 1, EventKind::Admit { cached_tokens: 0 }));
+        sink.record(&ev(
+            0.5,
+            1,
+            EventKind::Admit {
+                cached_tokens: 0,
+                ideal_us: 0,
+            },
+        ));
         assert_eq!(sink.events().len(), 2);
         let drained = sink.drain();
         assert_eq!(drained.len(), 2);

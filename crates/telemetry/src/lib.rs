@@ -43,7 +43,7 @@
 //! sink.record(&Event {
 //!     time: Seconds::from_millis(3.0),
 //!     request: 1,
-//!     kind: EventKind::Admit { cached_tokens: 0 },
+//!     kind: EventKind::Admit { cached_tokens: 0, ideal_us: 0 },
 //! });
 //! let trace = chrome_trace(&[sink.drain()]);
 //! assert!(trace.contains("\"name\":\"queue\""));
@@ -52,12 +52,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attribution;
 mod chrome;
 mod event;
 mod hist;
 mod phase;
 mod series;
 
+pub use attribution::{
+    attribute_events, AttributionReport, Components, MissCause, RequestAttribution, MISS_CAUSES,
+};
 pub use chrome::chrome_trace;
 pub use event::{Event, EventKind, EventSink, FlightRecorder, VecSink};
 pub use hist::{LatencyHistogram, SUB_BUCKETS};
@@ -119,6 +123,12 @@ pub struct TelemetryConfig {
     pub detail: EventDetail,
     /// Time-series sampling interval; `None` disables collection.
     pub series_interval: Option<Seconds>,
+    /// Run time-loss attribution over the recorded event stream when
+    /// the fleet report is assembled (see [`attribution`]). Requires an
+    /// event sink; ignored when `events` is off. Off by default so a
+    /// plain traced run's report stays byte-identical to earlier
+    /// releases.
+    pub attribution: bool,
 }
 
 impl TelemetryConfig {
@@ -127,6 +137,7 @@ impl TelemetryConfig {
         events: EventSinkKind::Off,
         detail: EventDetail::PerToken,
         series_interval: None,
+        attribution: false,
     };
 
     /// Full-fidelity tracing: unbounded event log, no time series.
@@ -162,6 +173,21 @@ impl TelemetryConfig {
         self
     }
 
+    /// Enables time-loss attribution over the recorded events (see
+    /// [`attribution`]). Only meaningful together with an event sink.
+    #[must_use]
+    pub fn with_attribution(mut self) -> Self {
+        self.attribution = true;
+        self
+    }
+
+    /// True when the fleet report should carry an attribution section:
+    /// attribution is requested and an event sink exists to feed it.
+    #[must_use]
+    pub fn attribution_enabled(&self) -> bool {
+        self.attribution && self.events_enabled()
+    }
+
     /// True when any telemetry is enabled.
     #[must_use]
     pub fn enabled(&self) -> bool {
@@ -195,5 +221,16 @@ mod tests {
         let cfg = TelemetryConfig::flight_recorder(64).with_detail(EventDetail::Lifecycle);
         assert_eq!(cfg.detail, EventDetail::Lifecycle);
         assert!(cfg.events_enabled());
+    }
+
+    #[test]
+    fn attribution_defaults_off_and_requires_an_event_sink() {
+        assert!(!TelemetryConfig::trace().attribution_enabled());
+        assert!(TelemetryConfig::trace()
+            .with_attribution()
+            .attribution_enabled());
+        // Attribution without events has nothing to read: not enabled.
+        let no_events = TelemetryConfig::OFF.with_attribution();
+        assert!(no_events.attribution && !no_events.attribution_enabled());
     }
 }

@@ -159,7 +159,14 @@ mod tests {
     fn simple_lifecycle_decomposes_into_three_phases() {
         let events = [
             ev(0.0, 1, EventKind::Enqueue),
-            ev(1.0, 1, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                1.0,
+                1,
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us: 0,
+                },
+            ),
             ev(1.5, 1, EventKind::PrefillChunk { tokens: 256 }),
             ev(
                 2.0,
@@ -191,7 +198,14 @@ mod tests {
         };
         let events = [
             ev(0.0, 7, EventKind::Enqueue),
-            ev(0.5, 7, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                0.5,
+                7,
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us: 0,
+                },
+            ),
             ev(1.0, 7, commit),
             ev(2.0, 7, EventKind::Preempt),
             ev(3.0, 7, EventKind::Resume),
@@ -220,7 +234,14 @@ mod tests {
     fn in_flight_requests_produce_no_dangling_spans() {
         let events = [
             ev(0.0, 1, EventKind::Enqueue),
-            ev(1.0, 1, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                1.0,
+                1,
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us: 0,
+                },
+            ),
         ];
         let s = spans(&events);
         assert_eq!(s.len(), 1);
@@ -232,8 +253,22 @@ mod tests {
         let events = [
             ev(0.0, 1, EventKind::Enqueue),
             ev(0.2, 2, EventKind::Enqueue),
-            ev(1.0, 2, EventKind::Admit { cached_tokens: 64 }),
-            ev(2.0, 1, EventKind::Admit { cached_tokens: 0 }),
+            ev(
+                1.0,
+                2,
+                EventKind::Admit {
+                    cached_tokens: 64,
+                    ideal_us: 0,
+                },
+            ),
+            ev(
+                2.0,
+                1,
+                EventKind::Admit {
+                    cached_tokens: 0,
+                    ideal_us: 0,
+                },
+            ),
         ];
         let s = spans(&events);
         assert_eq!(s.len(), 2);

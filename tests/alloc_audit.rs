@@ -1,0 +1,145 @@
+//! Span-scoped allocation audit of the engine hot path, behind the
+//! `profile` feature (`cargo test --features profile --test alloc_audit`).
+//!
+//! The self-profiler (`ador::serving::profile`) keeps two contracts this
+//! test pins end-to-end with a real counting allocator installed:
+//!
+//! * every `Engine::step` stage is metered (calls advance with steps),
+//!   and steady-state decode — full batch, no arrivals, no completions —
+//!   stays within the same allocations-per-step budget the featureless
+//!   `bench_attribution` artifact enforces;
+//! * profiling is deterministic: same-seed runs produce the same stage
+//!   `calls` layout (allocation *counts* are a pure function of the
+//!   deterministic work, so replays agree).
+//!
+//! The counting `GlobalAlloc` lives here, not in the library: the
+//! workspace crates are `forbid(unsafe_code)`, so the harness owns the
+//! one unavoidable `unsafe impl` and hands the engine a safe
+//! `fn() -> u64` probe via `install_alloc_probe`.
+#![cfg(feature = "profile")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ador::model::presets;
+use ador::perf::Deployment;
+use ador::serving::profile::{self, StepProfile, STAGES};
+use ador::serving::{Engine, Request, ServingSim, SimConfig};
+use ador::units::Seconds;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// bump is a side effect that never touches the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn probe() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+const BATCH: usize = 32;
+const MEASURED_STEPS: u64 = 256;
+
+/// Builds one engine, saturates it with long decodes, and warms it past
+/// prefill and admission into pure decode.
+fn steady_engine<'a>(
+    arch: &'a ador::hw::Architecture,
+    model: &'a ador::model::ModelConfig,
+) -> Engine<'a> {
+    let mut engine = ServingSim::new(
+        arch,
+        model,
+        Deployment::single_device(),
+        SimConfig::new(1.0, BATCH),
+    )
+    .expect("engine builds")
+    .engine();
+    for id in 0..BATCH as u64 {
+        engine
+            .submit(Request::new(id, Seconds::ZERO, 64, 4_096))
+            .expect("submit");
+    }
+    while engine.queue_depth() > 0 {
+        engine.step().expect("warmup step");
+    }
+    for _ in 0..8 {
+        engine.step().expect("warmup step");
+    }
+    engine
+}
+
+fn run_measured(engine: &mut Engine<'_>) -> (StepProfile, StepProfile) {
+    let before = *engine.step_profile();
+    for _ in 0..MEASURED_STEPS {
+        engine.step().expect("measured step");
+    }
+    (before, *engine.step_profile())
+}
+
+#[test]
+fn steady_decode_stage_profile_is_metered_bounded_and_deterministic() {
+    // First install wins process-wide; a second call is a no-op, so this
+    // holds whichever test in the binary runs first.
+    profile::install_alloc_probe(probe);
+
+    let arch = ador::baselines::ador_table3();
+    let model = presets::llama3_8b();
+    let mut engine = steady_engine(&arch, &model);
+    let (before, after) = run_measured(&mut engine);
+
+    // Every stage is metered: steps and per-stage calls advance together.
+    let steps = after.steps - before.steps;
+    assert_eq!(steps, MEASURED_STEPS, "every measured step is profiled");
+    for stage in STAGES {
+        let calls = after.stage(stage).calls - before.stage(stage).calls;
+        assert!(
+            calls >= MEASURED_STEPS,
+            "stage {} recorded {calls} calls over {MEASURED_STEPS} steps",
+            stage.label()
+        );
+    }
+
+    // The steady-decode loop stays within the same allocations-per-step
+    // budget the committed BENCH_attribution.json artifact enforces.
+    let allocs = after.total_allocs() - before.total_allocs();
+    let per_step = allocs as f64 / MEASURED_STEPS as f64;
+    assert!(
+        per_step <= ador_bench::schema::STEADY_DECODE_ALLOCS_PER_STEP_CAP,
+        "steady decode allocates {per_step:.2}/step (cap {})",
+        ador_bench::schema::STEADY_DECODE_ALLOCS_PER_STEP_CAP
+    );
+    assert!(allocs > 0, "the probe is live: decode steps do allocate");
+
+    // Deterministic replay: a second same-seed engine walks the same
+    // stage-call layout (alloc counts can differ across process states;
+    // the call structure cannot).
+    let mut replay = steady_engine(&arch, &model);
+    let (replay_before, replay_after) = run_measured(&mut replay);
+    for stage in STAGES {
+        assert_eq!(
+            replay_after.stage(stage).calls - replay_before.stage(stage).calls,
+            after.stage(stage).calls - before.stage(stage).calls,
+            "stage {} call count must replay exactly",
+            stage.label()
+        );
+    }
+}

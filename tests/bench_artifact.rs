@@ -59,3 +59,25 @@ fn committed_bench_disagg_is_valid() {
     ador_bench::schema::validate_bench_disagg(&text)
         .unwrap_or_else(|e| panic!("BENCH_disagg.json failed its schema: {e}"));
 }
+
+/// `BENCH_attribution.json` — the SLO-miss attribution artifact emitted
+/// by `cargo bench -p ador-bench --bench bench_attribution`. Beyond cell
+/// structure, the schema enforces the attribution contracts on full
+/// runs: attribution-on wall-clock stays within 10 % of tracing-only at
+/// the 100k-request scale, steady-decode allocations per step stay
+/// under the self-profiler budget, and the blame comparison carries the
+/// pinned topology shift (aggregated fleets blame prefill-interference,
+/// disaggregated fleets blame something else). A `--quick` smoke
+/// artifact is structurally valid but exempt from the pins.
+#[test]
+fn committed_bench_attribution_is_valid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_attribution.json");
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "BENCH_attribution.json must be committed at the workspace root \
+             (regenerate with `cargo bench -p ador-bench --bench bench_attribution`): {e}"
+        )
+    });
+    ador_bench::schema::validate_bench_attribution(&text)
+        .unwrap_or_else(|e| panic!("BENCH_attribution.json failed its schema: {e}"));
+}
